@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Shared scaffolding for the paper-reproduction benchmark binaries:
+ * platform deployments (host-centric baseline, Lynx on 1/6 Xeon
+ * cores, Lynx on Bluefield), load running, and table printing.
+ *
+ * Each bench binary regenerates one table or figure of the paper and
+ * prints the same rows/series the paper reports, plus the paper's
+ * reference values where it states them. See EXPERIMENTS.md.
+ */
+
+#ifndef LYNX_BENCH_COMMON_HH
+#define LYNX_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "accel/gpu.hh"
+#include "apps/gpu_services.hh"
+#include "baseline/host_server.hh"
+#include "host/node.hh"
+#include "lynx/calibration.hh"
+#include "lynx/runtime.hh"
+#include "net/network.hh"
+#include "snic/bluefield.hh"
+#include "sim/simulator.hh"
+#include "workload/loadgen.hh"
+
+namespace lynxbench {
+
+using namespace lynx;
+using namespace lynx::sim::literals;
+
+/** Server architecture under test. */
+enum class Platform
+{
+    HostCentric,   ///< CPU-driven baseline (paper §6.1)
+    LynxXeon1,     ///< Lynx on a single host Xeon core
+    LynxXeon4,     ///< Lynx on 4 host Xeon cores
+    LynxXeon6,     ///< Lynx on 6 host Xeon cores
+    LynxBluefield, ///< Lynx on the Bluefield SNIC
+};
+
+inline const char *
+platformName(Platform p)
+{
+    switch (p) {
+      case Platform::HostCentric: return "host-centric";
+      case Platform::LynxXeon1: return "lynx-xeon1";
+      case Platform::LynxXeon4: return "lynx-xeon4";
+      case Platform::LynxXeon6: return "lynx-xeon6";
+      case Platform::LynxBluefield: return "lynx-bluefield";
+    }
+    return "?";
+}
+
+/** Condensed measurement of one run. */
+struct RunResult
+{
+    double rps = 0;
+    double meanUs = 0;
+    double p50us = 0;
+    double p90us = 0;
+    double p99us = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t timeouts = 0;
+    std::uint64_t failures = 0;
+};
+
+inline RunResult
+collect(const workload::LoadGen &gen)
+{
+    RunResult r;
+    r.rps = gen.throughputRps();
+    r.meanUs = gen.latency().mean() / 1000.0;
+    r.p50us = sim::toMicroseconds(gen.latency().percentile(50));
+    r.p90us = sim::toMicroseconds(gen.latency().percentile(90));
+    r.p99us = sim::toMicroseconds(gen.latency().percentile(99));
+    r.completed = gen.completed();
+    r.timeouts = gen.timeouts();
+    r.failures = gen.validationFailures();
+    return r;
+}
+
+/** Print the standard bench banner. */
+inline void
+banner(const char *id, const char *title, const char *paperClaim)
+{
+    std::printf("==================================================="
+                "=========================\n");
+    std::printf("%s: %s\n", id, title);
+    std::printf("paper: %s\n", paperClaim);
+    std::printf("---------------------------------------------------"
+                "-------------------------\n");
+}
+
+/**
+ * A complete single-server echo deployment of one platform: used by
+ * the Fig. 6 throughput and Fig. 7 latency microbenchmarks.
+ *
+ * GPU side: one persistent echo block per mqueue, each emulating
+ * `procTime` of request processing (§6.2 microbenchmark kernel).
+ */
+class EchoWorld
+{
+  public:
+    EchoWorld(Platform platform, int mqueues, sim::Tick procTime,
+              core::SnicMqueueConfig mqCfg = {})
+        : platform_(platform)
+    {
+        clientNic_ = &network_.addNic("client0");
+        clientNic2_ = &network_.addNic("client1");
+        serverHost_ = std::make_unique<host::Node>(s_, network_,
+                                                   "server0");
+        fabric_ = std::make_unique<pcie::Fabric>(s_, "server0.pcie");
+        gpu_ = std::make_unique<accel::Gpu>(s_, "k40m", *fabric_);
+
+        if (platform == Platform::HostCentric) {
+            driver_ = std::make_unique<accel::GpuDriver>(s_, *gpu_);
+            baseline::HostServerConfig cfg;
+            cfg.nic = &serverHost_->nic();
+            cfg.port = port_;
+            cfg.stack = calibration::vmaXeon();
+            cfg.cores = {&serverHost_->cores()[0]};
+            cfg.streams = mqueues;
+            hostServer_ = std::make_unique<baseline::HostCentricServer>(
+                s_, *driver_, cfg, apps::hostEchoHandler(procTime));
+            hostServer_->start();
+            serverNode_ = serverHost_->id();
+            return;
+        }
+
+        core::RuntimeConfig cfg;
+        if (platform == Platform::LynxBluefield) {
+            bluefield_ = std::make_unique<snic::Bluefield>(s_, network_,
+                                                           "bf0");
+            cfg = bluefield_->lynxRuntimeConfig();
+            serverNode_ = bluefield_->node();
+        } else {
+            int ncores = platform == Platform::LynxXeon1   ? 1
+                         : platform == Platform::LynxXeon4 ? 4
+                                                           : 6;
+            std::vector<sim::Core *> cores;
+            for (int i = 0; i < ncores; ++i)
+                cores.push_back(&serverHost_->cores()[
+                    static_cast<std::size_t>(i)]);
+            cfg = snic::hostRuntimeConfig(cores, serverHost_->nic());
+            serverNode_ = serverHost_->id();
+        }
+        cfg.mq = mqCfg;
+        runtime_ = std::make_unique<core::Runtime>(s_, cfg);
+        auto &accel = runtime_->addAccelerator("k40m", gpu_->memory(),
+                                               rdma::RdmaPathModel{});
+        core::ServiceConfig scfg;
+        scfg.name = "echo";
+        scfg.port = port_;
+        scfg.queuesPerAccel = mqueues;
+        auto &svc = runtime_->addService(scfg);
+        queues_ = runtime_->makeAccelQueues(svc, accel);
+        for (auto &q : queues_)
+            sim::spawn(s_, apps::runEchoBlock(*gpu_, *q, procTime));
+        runtime_->start();
+    }
+
+    /** Run a closed-loop load (split over two client machines). */
+    RunResult
+    run(int concurrency, sim::Tick warmup = 5_ms,
+        sim::Tick duration = 60_ms, sim::Tick thinkTime = 0)
+    {
+        auto makeGen = [&](net::Nic *nic, int conc, std::uint16_t base,
+                           std::uint64_t seed) {
+            workload::LoadGenConfig lg;
+            lg.nic = nic;
+            lg.target = {serverNode_, port_};
+            lg.concurrency = conc;
+            lg.warmup = warmup;
+            lg.duration = duration;
+            lg.basePort = base;
+            lg.seed = seed;
+            lg.thinkTime = thinkTime;
+            lg.requestTimeout = 200_ms;
+            lg.makeRequest = [](std::uint64_t, sim::Rng &) {
+                return std::vector<std::uint8_t>(64, 0x42);
+            };
+            return std::make_unique<workload::LoadGen>(s_, lg);
+        };
+        int c1 = concurrency / 2, c2 = concurrency - c1;
+        std::vector<std::unique_ptr<workload::LoadGen>> gens;
+        if (c1 > 0)
+            gens.push_back(makeGen(clientNic_, c1, 40000, 11));
+        if (c2 > 0)
+            gens.push_back(makeGen(clientNic2_, c2, 40000, 23));
+        for (auto &g : gens)
+            g->start();
+        s_.runUntil(s_.now() + warmup + duration + 10_ms);
+
+        RunResult sum;
+        sim::Histogram merged;
+        for (auto &g : gens) {
+            sum.rps += g->throughputRps();
+            sum.completed += g->completed();
+            sum.timeouts += g->timeouts();
+            sum.failures += g->validationFailures();
+            merged.merge(g->latency());
+        }
+        sum.meanUs = merged.mean() / 1000.0;
+        sum.p50us = sim::toMicroseconds(merged.percentile(50));
+        sum.p90us = sim::toMicroseconds(merged.percentile(90));
+        sum.p99us = sim::toMicroseconds(merged.percentile(99));
+        return sum;
+    }
+
+    sim::Simulator &sim() { return s_; }
+    net::Network &network() { return network_; }
+    accel::Gpu &gpu() { return *gpu_; }
+
+  private:
+    Platform platform_;
+    std::uint16_t port_ = 7000;
+    std::uint32_t serverNode_ = 0;
+
+    sim::Simulator s_;
+    net::Network network_{s_};
+    net::Nic *clientNic_ = nullptr;
+    net::Nic *clientNic2_ = nullptr;
+    std::unique_ptr<host::Node> serverHost_;
+    std::unique_ptr<pcie::Fabric> fabric_;
+    std::unique_ptr<accel::Gpu> gpu_;
+    std::unique_ptr<snic::Bluefield> bluefield_;
+    std::unique_ptr<accel::GpuDriver> driver_;
+    std::unique_ptr<baseline::HostCentricServer> hostServer_;
+    std::unique_ptr<core::Runtime> runtime_;
+    std::vector<std::unique_ptr<core::AccelQueue>> queues_;
+};
+
+} // namespace lynxbench
+
+#endif // LYNX_BENCH_COMMON_HH

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Figure 5 — "Performance of data transfer mechanisms for managing
+ * mqueue, relative to cudaMemcpyAsync".
+ *
+ * A CPU-side manager feeds a single-threadblock GPU echo server
+ * through one mqueue, using each mechanism for the data path
+ * (payload) and control path (doorbell/status register):
+ *
+ *   data:cudaMemcpyAsync + control:cudaMemcpyAsync   (baseline)
+ *   data:cudaMemcpyAsync + control:gdrcopy
+ *   data:RDMA            + control:gdrcopy
+ *   data:RDMA            + control:RDMA              (Lynx's choice)
+ *
+ * cudaMemcpyAsync pays a constant driver overhead per call; gdrcopy
+ * blocks the CPU for the store; RDMA posting costs <1 us (§5.1).
+ */
+
+#include "common.hh"
+
+using namespace lynxbench;
+
+namespace {
+
+enum class Mech { CudaMemcpy, Gdrcopy, Rdma };
+
+const char *
+mechName(Mech m)
+{
+    switch (m) {
+      case Mech::CudaMemcpy: return "cudaMemcpyAsync";
+      case Mech::Gdrcopy: return "gdrcopy";
+      case Mech::Rdma: return "RDMA";
+    }
+    return "?";
+}
+
+/** Messages/second a manager loop achieves with the given paths. */
+double
+measure(Mech data, Mech control, std::uint64_t payload)
+{
+    sim::Simulator s;
+    pcie::Fabric fabric(s, "pcie");
+    accel::Gpu gpu(s, "k40m", fabric);
+    accel::GpuDriver driver(s, gpu);
+    rdma::RdmaPathModel path;
+    path.postCost = calibration::rdmaPostCost;
+    rdma::QueuePair qp(s, "qp", gpu.memory(), path);
+    sim::Core core(s, "xeon.0");
+
+    // The paper's measured per-call costs: "cudaMemcpyAsync incurs a
+    // constant overhead of 7-8 usec", "gdrcopy blocks until the
+    // transfer is completed", "IB RDMA requires less than 1 usec to
+    // invoke".
+    const sim::Tick cudaCallCost = 7500_ns;
+
+    // Critical-path payload transfer at the small-TLP PCIe p2p rate
+    // plus the GPU-side echo handling; identical for all mechanisms.
+    const double p2pGbps = 8.0;
+    auto commonTurnaround = [&](std::uint64_t bytes) {
+        return 900_ns + 1500_ns +
+               static_cast<sim::Tick>(static_cast<double>(bytes) * 8.0 /
+                                      p2pGbps);
+    };
+
+    const sim::Tick window = 20_ms;
+    std::uint64_t delivered = 0;
+
+    auto doPath = [&](Mech m, std::uint64_t bytes) -> sim::Co<void> {
+        switch (m) {
+          case Mech::CudaMemcpy:
+            co_await core.exec(cudaCallCost);
+            break;
+          case Mech::Gdrcopy:
+            co_await driver.gdrAccess(core, bytes);
+            break;
+          case Mech::Rdma:
+            co_await core.exec(qp.path().postCost);
+            qp.postWrite(0, std::vector<std::uint8_t>(bytes, 0));
+            break;
+        }
+    };
+
+    auto manager = [&]() -> sim::Task {
+        while (s.now() < window) {
+            // Ring bookkeeping common to every mechanism.
+            co_await core.exec(800_ns);
+            co_await doPath(data, payload); // payload into the ring
+            co_await doPath(control, 4);    // doorbell/status update
+            co_await sim::sleep(commonTurnaround(payload));
+            ++delivered;
+        }
+    };
+    sim::spawn(s, manager());
+    s.run();
+    return static_cast<double>(delivered) / sim::toSeconds(window);
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("fig5", "mqueue management mechanisms, speedup relative to "
+                   "cudaMemcpyAsync for data+control",
+           "RDMA performs better than any other mechanism, in "
+           "particular for smaller accesses; cudaMemcpyAsync has a "
+           "constant 7-8 us overhead; gdrcopy blocks the CPU");
+
+    struct Combo
+    {
+        Mech data, control;
+    };
+    const Combo combos[] = {
+        {Mech::CudaMemcpy, Mech::CudaMemcpy},
+        {Mech::CudaMemcpy, Mech::Gdrcopy},
+        {Mech::Rdma, Mech::Gdrcopy},
+        {Mech::Rdma, Mech::Rdma},
+    };
+    const std::uint64_t sizes[] = {20, 116, 516, 1016, 1416};
+
+    std::printf("%28s |", "data+control \\ payload [B]");
+    for (auto sz : sizes)
+        std::printf(" %8llu", static_cast<unsigned long long>(sz));
+    std::printf("\n");
+
+    for (const Combo &c : combos) {
+        std::printf("%15s + %-10s |", mechName(c.data),
+                    mechName(c.control));
+        for (auto sz : sizes) {
+            double base =
+                measure(Mech::CudaMemcpy, Mech::CudaMemcpy, sz);
+            double v = measure(c.data, c.control, sz);
+            std::printf(" %7.2fx", v / base);
+        }
+        std::printf("\n");
+    }
+    std::printf("\npaper shape: the RDMA+RDMA combination wins at all "
+                "sizes (up to ~5x), most at small payloads.\n");
+    return 0;
+}

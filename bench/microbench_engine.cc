@@ -1,0 +1,173 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulation engine and the
+ * compute kernels: these bound how much simulated traffic the
+ * reproduction can push per wall-clock second, and how expensive the
+ * real application compute (LeNet/LBP/AES) is.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "apps/aes.hh"
+#include "apps/lbp.hh"
+#include "apps/lenet.hh"
+#include "lynx/mqueue.hh"
+#include "pcie/memory.hh"
+#include "rdma/qp.hh"
+#include "sim/channel.hh"
+#include "sim/histogram.hh"
+#include "sim/random.hh"
+#include "sim/simulator.hh"
+#include "sim/task.hh"
+#include "workload/datagen.hh"
+
+using namespace lynx;
+using namespace lynx::sim::literals;
+
+namespace {
+
+void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    for (auto _ : state) {
+        sim::Simulator s;
+        int sink = 0;
+        for (int i = 0; i < 1000; ++i)
+            s.schedule(static_cast<sim::Tick>(i), [&] { ++sink; });
+        s.run();
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void
+BM_CoroutineSleepLoop(benchmark::State &state)
+{
+    for (auto _ : state) {
+        sim::Simulator s;
+        auto body = [&]() -> sim::Task {
+            for (int i = 0; i < 1000; ++i)
+                co_await sim::sleep(1_us);
+        };
+        sim::spawn(s, body());
+        s.run();
+    }
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_CoroutineSleepLoop);
+
+void
+BM_ChannelPingPong(benchmark::State &state)
+{
+    for (auto _ : state) {
+        sim::Simulator s;
+        sim::Channel<int> a(s), b(s);
+        auto left = [&]() -> sim::Task {
+            for (int i = 0; i < 500; ++i) {
+                co_await a.push(i);
+                (void)co_await b.pop();
+            }
+        };
+        auto right = [&]() -> sim::Task {
+            for (int i = 0; i < 500; ++i) {
+                int v = co_await a.pop();
+                co_await b.push(v);
+            }
+        };
+        sim::spawn(s, left());
+        sim::spawn(s, right());
+        s.run();
+    }
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_ChannelPingPong);
+
+void
+BM_HistogramRecord(benchmark::State &state)
+{
+    sim::Histogram h;
+    sim::Rng rng(1);
+    for (auto _ : state)
+        h.record(rng.below(10'000'000));
+    benchmark::DoNotOptimize(h.count());
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HistogramRecord);
+
+void
+BM_RdmaWriteDeliver(benchmark::State &state)
+{
+    for (auto _ : state) {
+        sim::Simulator s;
+        pcie::DeviceMemory mem("m", 1 << 16);
+        rdma::QueuePair qp(s, "qp", mem, rdma::RdmaPathModel{});
+        for (int i = 0; i < 200; ++i)
+            qp.postWrite(static_cast<std::uint64_t>((i % 16) * 256),
+                         std::vector<std::uint8_t>(64, 1));
+        s.run();
+    }
+    state.SetItemsProcessed(state.iterations() * 200);
+}
+BENCHMARK(BM_RdmaWriteDeliver);
+
+void
+BM_MqueueCodecRoundTrip(benchmark::State &state)
+{
+    std::vector<std::uint8_t> payload(
+        static_cast<std::size_t>(state.range(0)), 0x5a);
+    core::SlotMeta meta;
+    meta.len = static_cast<std::uint32_t>(payload.size());
+    meta.seq = 7;
+    for (auto _ : state) {
+        auto buf = core::encodeSlotWrite(payload, meta);
+        auto got = core::parseSlotMeta(buf);
+        benchmark::DoNotOptimize(got.seq);
+    }
+    state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MqueueCodecRoundTrip)->Arg(64)->Arg(784)->Arg(1416);
+
+void
+BM_LenetForward(benchmark::State &state)
+{
+    apps::LeNet net;
+    auto img = workload::synthMnist(3, 1);
+    for (auto _ : state) {
+        auto probs = net.forward(img);
+        benchmark::DoNotOptimize(probs[0]);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LenetForward);
+
+void
+BM_LbpDistance(benchmark::State &state)
+{
+    auto a = workload::synthFace(1, 0);
+    auto b = workload::synthFace(2, 0);
+    for (auto _ : state) {
+        double d = apps::lbpDistance(a, b, 32, 32);
+        benchmark::DoNotOptimize(d);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LbpDistance);
+
+void
+BM_Aes128Block(benchmark::State &state)
+{
+    apps::Aes128 aes({1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14,
+                      15, 16});
+    apps::Aes128::Block blk{};
+    for (auto _ : state) {
+        blk = aes.encrypt(blk);
+        benchmark::DoNotOptimize(blk[0]);
+    }
+    state.SetBytesProcessed(state.iterations() * 16);
+}
+BENCHMARK(BM_Aes128Block);
+
+} // namespace
+
+BENCHMARK_MAIN();

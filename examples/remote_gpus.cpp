@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Scaleout beyond one machine (paper §5.5, Fig. 8b): one SmartNIC
+ * drives GPUs in three physical servers. Remote accelerators differ
+ * from local ones only in their RDMA path ("all what is required
+ * from Lynx is to change the accelerator's host IP").
+ *
+ *   $ ./remote_gpus
+ */
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "accel/gpu.hh"
+#include "apps/gpu_services.hh"
+#include "host/node.hh"
+#include "lynx/runtime.hh"
+#include "net/network.hh"
+#include "snic/bluefield.hh"
+#include "sim/simulator.hh"
+#include "workload/datagen.hh"
+#include "workload/loadgen.hh"
+
+using namespace lynx;
+using namespace lynx::sim::literals;
+
+int
+main()
+{
+    sim::Simulator s;
+    net::Network network(s);
+    snic::Bluefield bluefield(s, network, "bf0");
+    net::Nic &clientNic = network.addNic("client");
+
+    // Three servers; only server0 hosts the SNIC. K80s, as in the
+    // paper's 12-GPU experiment.
+    struct Server
+    {
+        std::unique_ptr<host::Node> node;
+        std::vector<std::unique_ptr<accel::Gpu>> gpus;
+    };
+    accel::GpuConfig k80;
+    k80.blockSlots = 208;
+    k80.clockScale = calibration::k80ClockScale;
+
+    std::vector<Server> servers;
+    for (int m = 0; m < 3; ++m) {
+        Server srv;
+        srv.node = std::make_unique<host::Node>(
+            s, network, "server" + std::to_string(m));
+        for (int g = 0; g < 4; ++g) {
+            srv.gpus.push_back(std::make_unique<accel::Gpu>(
+                s, "k80-" + std::to_string(m) + "." + std::to_string(g),
+                srv.node->fabric(), k80));
+        }
+        servers.push_back(std::move(srv));
+    }
+
+    // Register all 12 GPUs: local ones over PCIe p2p, remote ones
+    // through their servers' RDMA NICs (+4 us each way).
+    core::Runtime lynxRt(s, bluefield.lynxRuntimeConfig());
+    rdma::RdmaPathModel local;
+    auto remote = local.viaNetwork(calibration::rdmaRemoteExtraOneWay);
+    std::vector<core::AccelHandle *> handles;
+    for (std::size_t m = 0; m < servers.size(); ++m) {
+        for (auto &gpu : servers[m].gpus) {
+            handles.push_back(&lynxRt.addAccelerator(
+                gpu->name(), gpu->memory(), m == 0 ? local : remote));
+        }
+    }
+
+    core::ServiceConfig svcCfg;
+    svcCfg.name = "lenet";
+    svcCfg.port = 7000;
+    auto &svc = lynxRt.addService(svcCfg);
+
+    apps::LeNet model;
+    std::vector<std::unique_ptr<core::AccelQueue>> queues;
+    std::size_t gi = 0;
+    for (std::size_t m = 0; m < servers.size(); ++m) {
+        for (auto &gpu : servers[m].gpus) {
+            auto qs = lynxRt.makeAccelQueues(svc, *handles[gi++]);
+            sim::spawn(s, apps::runLenetServer(*gpu, *qs[0], model));
+            for (auto &q : qs)
+                queues.push_back(std::move(q));
+        }
+    }
+    lynxRt.start();
+
+    // Saturating closed-loop load (several workers per GPU).
+    workload::LoadGenConfig lg;
+    lg.nic = &clientNic;
+    lg.target = {bluefield.node(), 7000};
+    lg.concurrency = 24;
+    lg.warmup = 10_ms;
+    lg.duration = 150_ms;
+    lg.makeRequest = [](std::uint64_t seq, sim::Rng &) {
+        return workload::synthMnist(static_cast<int>(seq % 10), seq);
+    };
+    workload::LoadGen gen(s, lg);
+    gen.start();
+    s.runUntil(gen.windowEnd() + 10_ms);
+
+    std::printf("12 K80 GPUs (4 local + 8 remote) behind one "
+                "Bluefield:\n");
+    std::printf("  aggregate throughput: %.0f req/s "
+                "(paper Fig. 8b: ~12 x 3300 = ~39600, linear)\n",
+                gen.throughputRps());
+    std::printf("  p50 latency: %.0f us  p99: %.0f us\n",
+                sim::toMicroseconds(gen.latency().percentile(50)),
+                sim::toMicroseconds(gen.latency().percentile(99)));
+    std::printf("  host CPUs of all three servers stayed idle: ");
+    bool idle = true;
+    for (auto &srv : servers) {
+        for (std::size_t c = 0; c < srv.node->cores().size(); ++c)
+            idle = idle && srv.node->cores()[c].busyTime() == 0;
+    }
+    std::printf("%s\n", idle ? "yes" : "no");
+    return 0;
+}

@@ -1,0 +1,154 @@
+#include "gpu.hh"
+
+#include "sim/task.hh"
+
+namespace lynx::accel {
+
+sim::Co<void>
+SlotPool::acquire(int n)
+{
+    if (waiters_.empty() && free_ >= n) {
+        free_ -= n;
+        co_return;
+    }
+    auto w = std::make_shared<Waiter>(sim_, n);
+    waiters_.push_back(w);
+    admit();
+    co_await w->gate.wait();
+}
+
+void
+SlotPool::release(int n)
+{
+    free_ += n;
+    admit();
+}
+
+void
+SlotPool::admit()
+{
+    while (!waiters_.empty() && free_ >= waiters_.front()->n) {
+        free_ -= waiters_.front()->n;
+        waiters_.front()->gate.open();
+        waiters_.pop_front();
+    }
+}
+
+Gpu::Gpu(sim::Simulator &sim, std::string name, pcie::Fabric &fabric,
+         GpuConfig cfg)
+    : sim_(sim), name_(std::move(name)), fabric_(fabric), cfg_(cfg),
+      mem_(name_ + ".mem", cfg.memBytes), slots_(sim, cfg.blockSlots)
+{}
+
+sim::Co<void>
+Gpu::execKernel(int blocks, sim::Tick duration, std::function<void()> body)
+{
+    LYNX_ASSERT(blocks > 0 && blocks <= cfg_.blockSlots, name_,
+                ": kernel of ", blocks, " blocks exceeds device capacity");
+    co_await slots_.acquire(blocks);
+    stats_.counter("kernels").add();
+    co_await sim::sleep(scaled(duration));
+    if (body)
+        body();
+    slots_.release(blocks);
+}
+
+sim::Co<void>
+Gpu::deviceLaunch(int blocks, sim::Tick duration, std::function<void()> body)
+{
+    stats_.counter("device_launches").add();
+    co_await sim::sleep(cfg_.deviceLaunchOverhead);
+    co_await execKernel(blocks, duration, std::move(body));
+}
+
+GpuDriver::GpuDriver(sim::Simulator &sim, Gpu &gpu, GpuDriverConfig cfg)
+    : sim_(sim), gpu_(gpu), cfg_(cfg), lock_(sim, 1)
+{}
+
+sim::Co<void>
+GpuDriver::driverCall(sim::Core &core)
+{
+    bool contended = lock_.available() == 0;
+    co_await lock_.acquire();
+    sim::Tick cost = cfg_.submitCost + (contended ? cfg_.contendedExtra : 0);
+    stats_.counter("driver_calls").add();
+    if (contended)
+        stats_.counter("contended_calls").add();
+    co_await core.exec(cost);
+    lock_.release();
+}
+
+sim::Co<void>
+GpuDriver::gdrAccess(sim::Core &core, std::uint64_t bytes)
+{
+    stats_.counter("gdr_accesses").add();
+    sim::Tick cost =
+        cfg_.gdrBase + static_cast<sim::Tick>(cfg_.gdrPerByte *
+                                              static_cast<double>(bytes));
+    co_await core.exec(cost);
+}
+
+Stream::Stream(sim::Simulator &sim, GpuDriver &driver)
+    : sim_(sim), driver_(driver), devQueue_(sim), idle_(sim, true)
+{
+    sim::spawn(sim_, run());
+}
+
+sim::Task
+Stream::run()
+{
+    for (;;) {
+        DeviceOp op = co_await devQueue_.pop();
+        co_await op();
+        if (--inflight_ == 0)
+            idle_.open();
+    }
+}
+
+sim::Co<void>
+Stream::submit(sim::Core &core, DeviceOp deviceWork)
+{
+    co_await driver_.driverCall(core);
+    ++inflight_;
+    idle_.close();
+    bool ok = devQueue_.tryPush(std::move(deviceWork));
+    LYNX_ASSERT(ok, "stream device queue overflow");
+}
+
+sim::Co<void>
+Stream::memcpyH2D(sim::Core &core, std::uint64_t bytes)
+{
+    co_await submit(core, [this, bytes]() -> sim::Co<void> {
+        co_await sim::sleep(driver_.config().memcpyResidual);
+        co_await driver_.gpu().fabric().dma(bytes);
+    });
+}
+
+sim::Co<void>
+Stream::memcpyD2H(sim::Core &core, std::uint64_t bytes)
+{
+    // Same path cost in either direction at this level of detail.
+    co_await memcpyH2D(core, bytes);
+}
+
+sim::Co<void>
+Stream::launch(sim::Core &core, int blocks, sim::Tick duration,
+               std::function<void()> body)
+{
+    co_await submit(
+        core, [this, blocks, duration,
+               body = std::move(body)]() -> sim::Co<void> {
+            co_await sim::sleep(driver_.config().launchResidual);
+            co_await driver_.gpu().execKernel(blocks, duration,
+                                              std::move(body));
+        });
+}
+
+sim::Co<void>
+Stream::sync(sim::Core &core)
+{
+    co_await idle_.wait();
+    co_await core.exec(driver_.config().syncCost);
+}
+
+} // namespace lynx::accel

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Intel Visual Compute Accelerator model (paper §5.4, §6.2).
+ *
+ * "Intel VCA packs three independent Intel E3 processors each with
+ * its own memory. These CPUs are interconnected via a PCIe switch
+ * ... From the software perspective VCA appears as three independent
+ * machines running Linux ... It supports secure computations via x86
+ * Software Guarded Extensions."
+ *
+ * Two I/O paths matter for the §6.2 experiment:
+ *  - the *native* path: clients reach a VCA processor through the
+ *    host's IP-over-PCIe network bridge ("the Intel preferred way"),
+ *    paying the bridge latency in both directions;
+ *  - the *Lynx* path: mqueues in a host-memory window the VCA maps
+ *    (the paper's workaround for the VCA RDMA bug — "a sub-optimal
+ *    configuration"), each access costing a PCIe round trip.
+ *
+ * SgxEnclave wraps a computation with the enclave entry/exit cost;
+ * the gio I/O layer is small enough to live inside the TCB ("20
+ * Lines of Code ... statically linked with the enclave code").
+ */
+
+#ifndef LYNX_ACCEL_VCA_HH
+#define LYNX_ACCEL_VCA_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "pcie/memory.hh"
+#include "sim/co.hh"
+#include "sim/processor.hh"
+#include "sim/simulator.hh"
+#include "sim/time.hh"
+
+namespace lynx::accel {
+
+/** Static parameters of one VCA card. */
+struct VcaConfig
+{
+    /** Independent E3 processors on the card. */
+    int processors = 3;
+
+    /** E3 core speed vs the reference Xeon. */
+    double coreSlowdown = 1.3;
+
+    /** SGX enclave entry+exit cost per call. */
+    sim::Tick sgxTransitionCost = sim::microseconds(4);
+
+    /** IP-over-PCIe bridge latency, each direction (native path). */
+    sim::Tick bridgeLatency = sim::microseconds(80);
+
+    /** Latency of one VCA access to the host-memory mqueue window
+     *  (Lynx path; a PCIe round trip per access). */
+    sim::Tick queueAccessLatency = sim::microseconds(7);
+
+    /** Host-memory window size for the Lynx mqueues. */
+    std::uint64_t windowBytes = 1 << 20;
+};
+
+/** One Intel VCA card. */
+class Vca
+{
+  public:
+    Vca(sim::Simulator &sim, const std::string &name, VcaConfig cfg = {})
+        : name_(name), cfg_(cfg),
+          window_(name + ".hostmem", cfg.windowBytes)
+    {
+        for (int i = 0; i < cfg.processors; ++i) {
+            cores_.push_back(std::make_unique<sim::Core>(
+                sim, name + ".e3-" + std::to_string(i),
+                cfg.coreSlowdown));
+        }
+    }
+
+    Vca(const Vca &) = delete;
+    Vca &operator=(const Vca &) = delete;
+
+    const std::string &name() const { return name_; }
+    const VcaConfig &config() const { return cfg_; }
+
+    /** @return E3 processor @p i. */
+    sim::Core &processor(std::size_t i) { return *cores_.at(i); }
+    std::size_t processorCount() const { return cores_.size(); }
+
+    /**
+     * @return the host-memory window holding the Lynx mqueues (the
+     * §5.4 workaround: "we used CPU memory to store the mqueues but
+     * mapped this memory into VCA").
+     */
+    pcie::DeviceMemory &hostWindow() { return window_; }
+
+  private:
+    std::string name_;
+    VcaConfig cfg_;
+    pcie::DeviceMemory window_;
+    std::vector<std::unique_ptr<sim::Core>> cores_;
+};
+
+/** An SGX enclave hosting a computation on one VCA processor. */
+class SgxEnclave
+{
+  public:
+    using ComputeFn = std::function<std::vector<std::uint8_t>(
+        std::span<const std::uint8_t>)>;
+
+    /**
+     * @param computeCost CPU time of the enclave computation itself
+     *        (on the reference core; scaled by the E3's slowdown).
+     * @param compute the real computation (e.g. AES decrypt/encrypt).
+     */
+    SgxEnclave(Vca &vca, sim::Tick computeCost, ComputeFn compute)
+        : vca_(vca), computeCost_(computeCost),
+          compute_(std::move(compute))
+    {}
+
+    /**
+     * Execute one enclave call on @p core: entry/exit transitions
+     * plus the computation, returning its real result.
+     */
+    sim::Co<std::vector<std::uint8_t>>
+    call(sim::Core &core, std::span<const std::uint8_t> input)
+    {
+        co_await core.exec(vca_.config().sgxTransitionCost +
+                           computeCost_);
+        co_return compute_(input);
+    }
+
+  private:
+    Vca &vca_;
+    sim::Tick computeCost_;
+    ComputeFn compute_;
+};
+
+} // namespace lynx::accel
+
+#endif // LYNX_ACCEL_VCA_HH

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * AES-128 block cipher (FIPS-197), implemented from scratch for the
+ * Intel VCA / SGX secure-computing example (paper §6.2): "The server
+ * receives an AES-encrypted message (4 bytes) via Lynx, decrypts it,
+ * multiplies it by a constant, encrypts it and sends the result
+ * back."
+ *
+ * ECB single-block and CTR-mode helpers are provided; the SGX
+ * example uses single 16-byte blocks. Verified against the FIPS-197
+ * appendix vectors in the tests.
+ */
+
+#ifndef LYNX_APPS_AES_HH
+#define LYNX_APPS_AES_HH
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace lynx::apps {
+
+/** AES-128: one key, encrypt/decrypt 16-byte blocks. */
+class Aes128
+{
+  public:
+    using Block = std::array<std::uint8_t, 16>;
+    using Key = std::array<std::uint8_t, 16>;
+
+    explicit Aes128(const Key &key);
+
+    /** Encrypt one 16-byte block (ECB). */
+    Block encrypt(const Block &plain) const;
+
+    /** Decrypt one 16-byte block (ECB). */
+    Block decrypt(const Block &cipher) const;
+
+    /** CTR-mode keystream XOR over an arbitrary-length buffer
+     *  (encryption and decryption are the same operation). */
+    std::vector<std::uint8_t> ctr(std::span<const std::uint8_t> data,
+                                  const Block &iv) const;
+
+  private:
+    /** Round keys: 11 × 16 bytes. */
+    std::array<std::uint8_t, 176> roundKeys_{};
+};
+
+} // namespace lynx::apps
+
+#endif // LYNX_APPS_AES_HH

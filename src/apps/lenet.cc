@@ -1,0 +1,174 @@
+#include "lenet.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+#include "sim/random.hh"
+
+namespace lynx::apps {
+
+namespace {
+
+/** Fill @p w with small deterministic pseudo-random weights. */
+void
+initWeights(std::vector<float> &w, std::size_t n, sim::Rng &rng,
+            double scale)
+{
+    w.resize(n);
+    for (auto &x : w)
+        x = static_cast<float>((rng.uniform() * 2.0 - 1.0) * scale);
+}
+
+} // namespace
+
+LeNetParams
+LeNetParams::random(std::uint64_t seed)
+{
+    LeNetParams p;
+    sim::Rng rng(seed);
+    initWeights(p.conv1W, 6 * 1 * 5 * 5, rng, 0.35);
+    initWeights(p.conv1B, 6, rng, 0.1);
+    initWeights(p.conv2W, 16 * 6 * 5 * 5, rng, 0.2);
+    initWeights(p.conv2B, 16, rng, 0.1);
+    initWeights(p.fc1W, 120 * 400, rng, 0.08);
+    initWeights(p.fc1B, 120, rng, 0.05);
+    initWeights(p.fc2W, 84 * 120, rng, 0.1);
+    initWeights(p.fc2B, 84, rng, 0.05);
+    initWeights(p.fc3W, 10 * 84, rng, 0.15);
+    initWeights(p.fc3B, 10, rng, 0.05);
+    return p;
+}
+
+namespace lenet_detail {
+
+void
+conv2d(const std::vector<float> &in, int inCh, int inDim,
+       const std::vector<float> &w, const std::vector<float> &b,
+       int outCh, int k, int pad, std::vector<float> &out)
+{
+    const int outDim = inDim + 2 * pad - k + 1;
+    out.assign(static_cast<std::size_t>(outCh) * outDim * outDim, 0.0f);
+    for (int oc = 0; oc < outCh; ++oc) {
+        for (int oy = 0; oy < outDim; ++oy) {
+            for (int ox = 0; ox < outDim; ++ox) {
+                float acc = b[static_cast<std::size_t>(oc)];
+                for (int ic = 0; ic < inCh; ++ic) {
+                    for (int ky = 0; ky < k; ++ky) {
+                        const int iy = oy + ky - pad;
+                        if (iy < 0 || iy >= inDim)
+                            continue;
+                        for (int kx = 0; kx < k; ++kx) {
+                            const int ix = ox + kx - pad;
+                            if (ix < 0 || ix >= inDim)
+                                continue;
+                            acc += in[static_cast<std::size_t>(
+                                       (ic * inDim + iy) * inDim + ix)] *
+                                   w[static_cast<std::size_t>(
+                                       ((oc * inCh + ic) * k + ky) * k +
+                                       kx)];
+                        }
+                    }
+                }
+                // tanh activation, as in the classic LeNet.
+                out[static_cast<std::size_t>(
+                    (oc * outDim + oy) * outDim + ox)] = std::tanh(acc);
+            }
+        }
+    }
+}
+
+void
+avgPool2(const std::vector<float> &in, int ch, int dim,
+         std::vector<float> &out)
+{
+    const int outDim = dim / 2;
+    out.assign(static_cast<std::size_t>(ch) * outDim * outDim, 0.0f);
+    for (int c = 0; c < ch; ++c) {
+        for (int y = 0; y < outDim; ++y) {
+            for (int x = 0; x < outDim; ++x) {
+                float s =
+                    in[static_cast<std::size_t>(
+                        (c * dim + 2 * y) * dim + 2 * x)] +
+                    in[static_cast<std::size_t>(
+                        (c * dim + 2 * y) * dim + 2 * x + 1)] +
+                    in[static_cast<std::size_t>(
+                        (c * dim + 2 * y + 1) * dim + 2 * x)] +
+                    in[static_cast<std::size_t>(
+                        (c * dim + 2 * y + 1) * dim + 2 * x + 1)];
+                out[static_cast<std::size_t>(
+                    (c * outDim + y) * outDim + x)] = s * 0.25f;
+            }
+        }
+    }
+}
+
+void
+dense(const std::vector<float> &in, const std::vector<float> &w,
+      const std::vector<float> &b, int outN, bool activate,
+      std::vector<float> &out)
+{
+    const std::size_t inN = in.size();
+    out.assign(static_cast<std::size_t>(outN), 0.0f);
+    for (int o = 0; o < outN; ++o) {
+        float acc = b[static_cast<std::size_t>(o)];
+        for (std::size_t i = 0; i < inN; ++i)
+            acc += in[i] * w[static_cast<std::size_t>(o) * inN + i];
+        out[static_cast<std::size_t>(o)] =
+            activate ? std::tanh(acc) : acc;
+    }
+}
+
+void
+normalize(std::span<const std::uint8_t> image, std::vector<float> &x)
+{
+    x.resize(image.size());
+    for (std::size_t i = 0; i < image.size(); ++i)
+        x[i] = static_cast<float>(image[i]) / 255.0f - 0.5f;
+}
+
+} // namespace lenet_detail
+
+std::array<float, LeNet::numClasses>
+LeNet::forward(std::span<const std::uint8_t> image) const
+{
+    using namespace lenet_detail;
+    LYNX_ASSERT(image.size() == imageBytes,
+                "LeNet expects a 28x28 grayscale image, got ",
+                image.size(), " bytes");
+    std::vector<float> x;
+    normalize(image, x);
+
+    const LeNetParams &p = params_;
+    std::vector<float> c1, p1, c2, p2, f1, f2, logits;
+    conv2d(x, 1, 28, p.conv1W, p.conv1B, 6, 5, 2, c1);   // 6x28x28
+    avgPool2(c1, 6, 28, p1);                             // 6x14x14
+    conv2d(p1, 6, 14, p.conv2W, p.conv2B, 16, 5, 0, c2); // 16x10x10
+    avgPool2(c2, 16, 10, p2);                            // 16x5x5
+    dense(p2, p.fc1W, p.fc1B, 120, true, f1);
+    dense(f1, p.fc2W, p.fc2B, 84, true, f2);
+    dense(f2, p.fc3W, p.fc3B, 10, false, logits);
+
+    // Softmax.
+    float mx = *std::max_element(logits.begin(), logits.end());
+    std::array<float, numClasses> probs{};
+    float sum = 0.0f;
+    for (int i = 0; i < numClasses; ++i) {
+        probs[static_cast<std::size_t>(i)] =
+            std::exp(logits[static_cast<std::size_t>(i)] - mx);
+        sum += probs[static_cast<std::size_t>(i)];
+    }
+    for (auto &pr : probs)
+        pr /= sum;
+    return probs;
+}
+
+int
+LeNet::classify(std::span<const std::uint8_t> image) const
+{
+    auto probs = forward(image);
+    return static_cast<int>(
+        std::max_element(probs.begin(), probs.end()) - probs.begin());
+}
+
+} // namespace lynx::apps

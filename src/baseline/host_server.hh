@@ -1,0 +1,170 @@
+/**
+ * @file
+ * The host-centric baseline server (paper §6.1: "network messages
+ * are received by the CPU, which then invokes a GPU kernel for each
+ * request" via "a pool of concurrent CUDA streams, each handling one
+ * network request").
+ *
+ * The server runs its listener(s) on host cores; each request takes
+ * a stream from the pool and runs a user-supplied handler coroutine
+ * that drives the GPU (H2D copy, kernel launch(es), D2H copy, sync)
+ * and/or talks to backends, then the response is sent back. All CPU
+ * work — network stack, driver calls, synchronization — is charged
+ * to the host cores, which is precisely the inefficiency Lynx
+ * removes.
+ */
+
+#ifndef LYNX_BASELINE_HOST_SERVER_HH
+#define LYNX_BASELINE_HOST_SERVER_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "accel/gpu.hh"
+#include "net/message.hh"
+#include "net/nic.hh"
+#include "net/stack.hh"
+#include "sim/channel.hh"
+#include "sim/co.hh"
+#include "sim/processor.hh"
+#include "sim/simulator.hh"
+#include "sim/stats.hh"
+#include "sim/task.hh"
+
+namespace lynx::baseline {
+
+/** A pool of CUDA streams handed out to in-flight requests. */
+class StreamPool
+{
+  public:
+    StreamPool(sim::Simulator &sim, accel::GpuDriver &driver, int n)
+        : free_(sim)
+    {
+        for (int i = 0; i < n; ++i) {
+            streams_.push_back(
+                std::make_unique<accel::Stream>(sim, driver));
+            free_.tryPush(streams_.back().get());
+        }
+    }
+
+    /** Await a free stream. */
+    sim::Co<accel::Stream *>
+    acquire()
+    {
+        accel::Stream *s = co_await free_.pop();
+        co_return s;
+    }
+
+    /** Return @p s to the pool. */
+    void release(accel::Stream *s) { free_.tryPush(s); }
+
+    /** @return pool size. */
+    std::size_t size() const { return streams_.size(); }
+
+  private:
+    std::vector<std::unique_ptr<accel::Stream>> streams_;
+    sim::Channel<accel::Stream *> free_;
+};
+
+/**
+ * Per-request application logic. Runs on @p core with exclusive use
+ * of @p stream; returns the response payload.
+ */
+using HostHandler = std::function<sim::Co<std::vector<std::uint8_t>>(
+    sim::Core &core, accel::Stream &stream, const net::Message &req)>;
+
+/** Configuration of the host-centric server. */
+struct HostServerConfig
+{
+    std::string name = "host-server";
+    net::Nic *nic = nullptr;
+    std::uint16_t port = 7000;
+    net::Protocol proto = net::Protocol::Udp;
+    net::StackProfile stack;
+
+    /** Host cores running the server ("We run on one CPU core
+     *  because more threads result in a slowdown due to an NVIDIA
+     *  driver bottleneck", §6.2). */
+    std::vector<sim::Core *> cores;
+
+    /** CUDA stream pool size (bounds in-flight requests). */
+    int streams = 32;
+};
+
+/** The baseline CPU-driven accelerated network server. */
+class HostCentricServer
+{
+  public:
+    HostCentricServer(sim::Simulator &sim, accel::GpuDriver &driver,
+                      HostServerConfig cfg, HostHandler handler)
+        : sim_(sim), cfg_(std::move(cfg)), handler_(std::move(handler)),
+          pool_(sim, driver, cfg_.streams)
+    {
+        LYNX_FATAL_IF(!cfg_.nic, cfg_.name, ": needs a NIC");
+        LYNX_FATAL_IF(cfg_.cores.empty(), cfg_.name, ": needs cores");
+    }
+
+    HostCentricServer(const HostCentricServer &) = delete;
+    HostCentricServer &operator=(const HostCentricServer &) = delete;
+
+    /** Bind the port and spawn one listener per configured core. */
+    void
+    start()
+    {
+        net::Endpoint &ep = cfg_.nic->bind(cfg_.proto, cfg_.port);
+        for (auto *core : cfg_.cores)
+            sim::spawn(sim_, listenLoop(ep, *core));
+    }
+
+    sim::StatSet &stats() { return stats_; }
+
+  private:
+    sim::Task
+    listenLoop(net::Endpoint &ep, sim::Core &core)
+    {
+        for (;;) {
+            net::Message msg = co_await ep.recv();
+            co_await core.exec(
+                cfg_.stack.cost(cfg_.proto, net::Dir::Recv, msg.size()));
+            stats_.counter("rx_msgs").add();
+            // One stream per in-flight request; the handler runs as
+            // its own task so the listener keeps receiving.
+            accel::Stream *stream = co_await pool_.acquire();
+            sim::spawn(sim_, handleRequest(std::move(msg), core, stream));
+        }
+    }
+
+    sim::Task
+    handleRequest(net::Message msg, sim::Core &core,
+                  accel::Stream *stream)
+    {
+        std::vector<std::uint8_t> resp =
+            co_await handler_(core, *stream, msg);
+        pool_.release(stream);
+
+        net::Message out;
+        out.src = net::Address{cfg_.nic->node(), cfg_.port};
+        out.dst = msg.src;
+        out.proto = msg.proto;
+        out.payload = std::move(resp);
+        out.seq = msg.seq;
+        out.sentAt = msg.sentAt;
+        co_await core.exec(
+            cfg_.stack.cost(out.proto, net::Dir::Send, out.size()));
+        co_await cfg_.nic->send(std::move(out));
+        stats_.counter("responses").add();
+    }
+
+    sim::Simulator &sim_;
+    HostServerConfig cfg_;
+    HostHandler handler_;
+    StreamPool pool_;
+    sim::StatSet stats_;
+};
+
+} // namespace lynx::baseline
+
+#endif // LYNX_BASELINE_HOST_SERVER_HH

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * A physical machine: CPU cores, PCIe fabric, and a NIC.
+ *
+ * The paper's testbed (§6): Xeon E5-2620 v2 servers (6 cores,
+ * hyper-threading disabled) behind a 40 Gb/s switch; accelerators
+ * (GPUs, VCA) hang off each machine's PCIe fabric.
+ */
+
+#ifndef LYNX_HOST_NODE_HH
+#define LYNX_HOST_NODE_HH
+
+#include <string>
+
+#include "net/network.hh"
+#include "net/nic.hh"
+#include "pcie/fabric.hh"
+#include "sim/processor.hh"
+#include "sim/simulator.hh"
+
+namespace lynx::host {
+
+/** Static parameters of one machine. */
+struct NodeConfig
+{
+    /** Number of CPU cores (Xeon E5-2620 v2: 6). */
+    std::size_t cores = 6;
+
+    /** Core speed factor relative to the reference Xeon (1.0). */
+    double coreSpeed = 1.0;
+
+    /** NIC link parameters. */
+    net::NicConfig nic{};
+
+    /** PCIe fabric parameters. */
+    pcie::FabricConfig fabric{};
+};
+
+/** One machine attached to the network. */
+class Node
+{
+  public:
+    Node(sim::Simulator &sim, net::Network &network, const std::string &name,
+         NodeConfig cfg = {})
+        : name_(name), cores_(sim, name + ".cpu", cfg.cores, cfg.coreSpeed),
+          fabric_(sim, name + ".pcie", cfg.fabric),
+          nic_(network.addNic(name + ".nic", cfg.nic))
+    {}
+
+    Node(const Node &) = delete;
+    Node &operator=(const Node &) = delete;
+
+    /** @return machine name. */
+    const std::string &name() const { return name_; }
+
+    /** @return network node id (assigned by the network). */
+    std::uint32_t id() const { return nic_.node(); }
+
+    /** @return CPU cores. */
+    sim::CorePool &cores() { return cores_; }
+
+    /** @return PCIe fabric. */
+    pcie::Fabric &fabric() { return fabric_; }
+
+    /** @return NIC. */
+    net::Nic &nic() { return nic_; }
+
+  private:
+    std::string name_;
+    sim::CorePool cores_;
+    pcie::Fabric fabric_;
+    net::Nic &nic_;
+};
+
+} // namespace lynx::host
+
+#endif // LYNX_HOST_NODE_HH

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * The Message Dispatcher (paper Fig. 4): routes messages received by
+ * the SNIC network server into server-mqueue RX rings "according to
+ * the dispatching policy, e.g. load balancing for stateless services,
+ * or steering messages to specific queues for stateful ones" (§4.2).
+ */
+
+#ifndef LYNX_LYNX_DISPATCHER_HH
+#define LYNX_LYNX_DISPATCHER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lynx/snic_mqueue.hh"
+#include "net/message.hh"
+#include "sim/co.hh"
+#include "sim/processor.hh"
+#include "sim/stats.hh"
+
+namespace lynx::core {
+
+/** Queue-selection policy of one service. */
+enum class DispatchPolicy
+{
+    /** Rotate across mqueues (stateless load balancing). */
+    RoundRobin,
+
+    /** Steer by client address hash (stateful services: one client
+     *  always lands on the same mqueue). */
+    SourceHash,
+};
+
+/** Dispatches one service's ingress traffic to its mqueues. */
+class Dispatcher
+{
+  public:
+    Dispatcher(std::string name, DispatchPolicy policy,
+               sim::Tick dispatchCpu)
+        : name_(std::move(name)), policy_(policy), dispatchCpu_(dispatchCpu)
+    {}
+
+    Dispatcher(const Dispatcher &) = delete;
+    Dispatcher &operator=(const Dispatcher &) = delete;
+
+    /** Register a server mqueue as a dispatch target. */
+    void
+    addQueue(SnicMqueue *mq)
+    {
+        LYNX_ASSERT(mq->kind() == MqueueKind::Server,
+                    "dispatcher targets must be server mqueues");
+        queues_.push_back(mq);
+    }
+
+    /** @return registered queue count. */
+    std::size_t queueCount() const { return queues_.size(); }
+
+    /**
+     * Dispatch @p msg: pick an mqueue, allocate a response tag for
+     * the client, push into the RX ring. Charges CPU on @p core.
+     * Full rings / tag tables drop the message (UDP semantics).
+     */
+    sim::Co<void>
+    dispatch(sim::Core &core, net::Message msg)
+    {
+        LYNX_ASSERT(!queues_.empty(), name_, ": no mqueues registered");
+        co_await core.exec(dispatchCpu_);
+        SnicMqueue &mq = *pick(msg);
+        if (msg.size() > mq.layout().maxPayload()) {
+            // Larger than a ring slot: drop like an oversized
+            // datagram instead of corrupting the ring.
+            stats_.counter("dropped_oversized").add();
+            co_return;
+        }
+        ClientRef client{msg.src, msg.proto};
+        client.seq = msg.seq;
+        client.sentAt = msg.sentAt;
+        auto tag = mq.allocTag(client);
+        if (!tag) {
+            stats_.counter("dropped_no_tag").add();
+            co_return;
+        }
+        bool ok = co_await mq.rxPush(core, msg.payload, *tag);
+        if (!ok) {
+            mq.releaseTag(*tag);
+            stats_.counter("dropped_ring_full").add();
+            co_return;
+        }
+        stats_.counter("dispatched").add();
+    }
+
+    sim::StatSet &stats() { return stats_; }
+
+  private:
+    SnicMqueue *
+    pick(const net::Message &msg)
+    {
+        switch (policy_) {
+          case DispatchPolicy::RoundRobin:
+            return queues_[rr_++ % queues_.size()];
+          case DispatchPolicy::SourceHash: {
+            std::uint64_t h = msg.src.node * 0x9e3779b97f4a7c15ull +
+                              msg.src.port * 0x85ebca6bull;
+            return queues_[h % queues_.size()];
+          }
+        }
+        return queues_[0];
+    }
+
+    std::string name_;
+    DispatchPolicy policy_;
+    sim::Tick dispatchCpu_;
+    std::vector<SnicMqueue *> queues_;
+    std::size_t rr_ = 0;
+    sim::StatSet stats_;
+};
+
+} // namespace lynx::core
+
+#endif // LYNX_LYNX_DISPATCHER_HH

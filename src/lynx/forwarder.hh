@@ -1,0 +1,195 @@
+/**
+ * @file
+ * The Message Forwarder / egress half of the Remote Message Queue
+ * Manager (paper Fig. 4): "fetches the outgoing messages from the
+ * message queues, and sends them to respective destinations" (§4.2).
+ *
+ * One Forwarder drives all the mqueues of one accelerator (they
+ * share one RC QP, §5.1) on one SNIC core, round-robin. For server
+ * mqueues the destination is the client recorded in the tag table;
+ * for client mqueues it is the queue's fixed backend (§4.3).
+ */
+
+#ifndef LYNX_LYNX_FORWARDER_HH
+#define LYNX_LYNX_FORWARDER_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "lynx/snic_mqueue.hh"
+#include "net/nic.hh"
+#include "net/stack.hh"
+#include "sim/processor.hh"
+#include "sim/simulator.hh"
+#include "sim/stats.hh"
+#include "sim/sync.hh"
+#include "sim/task.hh"
+
+namespace lynx::core {
+
+/** Where a client mqueue's outgoing messages go. */
+struct BackendRoute
+{
+    net::Address dst;
+    net::Protocol proto = net::Protocol::Tcp;
+
+    /** SNIC-local port the backend's responses come back to. */
+    std::uint16_t srcPort = 0;
+
+    /** Deadline for the backend's response; expiry surfaces as a
+     *  message with a non-zero error status in the client mqueue. */
+    sim::Tick responseTimeout = sim::milliseconds(50);
+};
+
+/** Timing knobs of the forwarding loop. */
+struct ForwarderConfig
+{
+    /** CPU per forwarded message (ring bookkeeping, tag lookup). */
+    sim::Tick forwardCpu = sim::nanoseconds(500);
+
+    /** Mean delay between a doorbell and the polling loop seeing it. */
+    sim::Tick pollDiscovery = sim::nanoseconds(1000);
+
+    /** CPU per managed queue per polling sweep (round-robin scan). */
+    sim::Tick scanPerQueue = sim::nanoseconds(15);
+};
+
+/** Egress pump for one accelerator's mqueues. */
+class Forwarder
+{
+  public:
+    /**
+     * @param stack transport costs for client-facing responses.
+     * @param backendStack transport costs for the persistent backend
+     *        connections of client mqueues (§4.3).
+     */
+    Forwarder(sim::Simulator &sim, std::string name, sim::Core &core,
+              net::Nic &nic, net::StackProfile stack,
+              net::StackProfile backendStack, ForwarderConfig cfg)
+        : sim_(sim), name_(std::move(name)), core_(core), nic_(nic),
+          stack_(stack), backendStack_(backendStack), cfg_(cfg),
+          activity_(sim)
+    {}
+
+    Forwarder(const Forwarder &) = delete;
+    Forwarder &operator=(const Forwarder &) = delete;
+
+    /**
+     * Manage @p mq. Server queues need @p servicePort (the response's
+     * source port); client queues need @p route.
+     */
+    void
+    addQueue(SnicMqueue *mq, std::uint16_t servicePort,
+             std::optional<BackendRoute> route = std::nullopt)
+    {
+        LYNX_ASSERT((mq->kind() == MqueueKind::Client) == route.has_value(),
+                    name_, ": route must be given iff queue is client kind");
+        queues_.push_back(Entry{mq, servicePort, route, false});
+        Entry &e = queues_.back();
+        std::size_t idx = queues_.size() - 1;
+        mq->setTxActivityHandler([this, idx] {
+            queues_[idx].pendingTx = true;
+            activity_.open();
+        });
+        (void)e;
+    }
+
+    /** Spawn the forwarding loop. */
+    void
+    start()
+    {
+        LYNX_ASSERT(!started_, name_, ": started twice");
+        started_ = true;
+        sim::spawn(sim_, run());
+    }
+
+    sim::StatSet &stats() { return stats_; }
+
+  private:
+    struct Entry
+    {
+        SnicMqueue *mq;
+        std::uint16_t servicePort;
+        std::optional<BackendRoute> route;
+        bool pendingTx;
+    };
+
+    sim::Task
+    run()
+    {
+        for (;;) {
+            activity_.close();
+            bool progress = false;
+            // Round-robin scan cost over every managed queue.
+            co_await core_.exec(cfg_.scanPerQueue * queues_.size());
+            for (auto &e : queues_) {
+                if (!e.pendingTx)
+                    continue;
+                e.pendingTx = false;
+                for (;;) {
+                    auto txm = co_await e.mq->pollTx(core_);
+                    if (!txm)
+                        break;
+                    progress = true;
+                    co_await forwardOne(e, std::move(*txm));
+                }
+                if (e.mq->txCommitPending())
+                    co_await e.mq->commitTxCons(core_);
+            }
+            if (!progress) {
+                co_await activity_.wait();
+                co_await sim::sleep(cfg_.pollDiscovery);
+            }
+        }
+    }
+
+    sim::Co<void>
+    forwardOne(Entry &e, TxMessage txm)
+    {
+        co_await core_.exec(cfg_.forwardCpu);
+        net::Message out;
+        out.payload = std::move(txm.payload);
+        if (e.mq->kind() == MqueueKind::Server) {
+            ClientRef client = e.mq->releaseTag(txm.tag);
+            out.src = net::Address{nic_.node(), e.servicePort};
+            out.dst = client.addr;
+            out.proto = client.proto;
+            out.seq = client.seq;
+            out.sentAt = client.sentAt;
+            stats_.counter("responses").add();
+        } else {
+            // Client mqueue: fixed backend destination; remember the
+            // tag so the (in-order) response can be matched.
+            e.mq->notePending(txm.tag,
+                              sim_.now() + e.route->responseTimeout);
+            out.src = net::Address{nic_.node(), e.route->srcPort};
+            out.dst = e.route->dst;
+            out.proto = e.route->proto;
+            out.sentAt = sim_.now();
+            stats_.counter("backend_requests").add();
+        }
+        const net::StackProfile &prof =
+            e.mq->kind() == MqueueKind::Server ? stack_ : backendStack_;
+        co_await core_.exec(
+            prof.cost(out.proto, net::Dir::Send, out.size()));
+        co_await nic_.send(std::move(out));
+    }
+
+    sim::Simulator &sim_;
+    std::string name_;
+    sim::Core &core_;
+    net::Nic &nic_;
+    net::StackProfile stack_;
+    net::StackProfile backendStack_;
+    ForwarderConfig cfg_;
+    sim::Gate activity_;
+    std::vector<Entry> queues_;
+    bool started_ = false;
+    sim::StatSet stats_;
+};
+
+} // namespace lynx::core
+
+#endif // LYNX_LYNX_FORWARDER_HH

@@ -1,0 +1,103 @@
+#include "gio.hh"
+
+namespace lynx::core {
+
+AccelQueue::AccelQueue(sim::Simulator &sim, std::string name,
+                       pcie::DeviceMemory &mem, MqueueLayout layout,
+                       GioConfig cfg)
+    : sim_(sim), name_(std::move(name)), mem_(mem), layout_(layout),
+      cfg_(cfg), rxActivity_(sim), txConsActivity_(sim)
+{
+    // Doorbells arrive via the SNIC's RDMA writes into the RX ring;
+    // TX-ring credit returns arrive as RDMA writes to txCons.
+    rxWatchId_ = mem_.watch(layout_.rxRingOff(), layout_.ringBytes(),
+                            [this](auto, auto) { rxActivity_.open(); });
+    txConsWatchId_ = mem_.watch(layout_.txConsOff(), 4,
+                                [this](auto, auto) {
+                                    txConsActivity_.open();
+                                });
+}
+
+AccelQueue::~AccelQueue()
+{
+    mem_.unwatch(rxWatchId_);
+    mem_.unwatch(txConsWatchId_);
+}
+
+bool
+AccelQueue::rxReady() const
+{
+    SlotMeta meta = readSlotMeta(mem_, layout_.rxSlotEnd(rxConsumed_));
+    return meta.seq == static_cast<std::uint32_t>(rxConsumed_ + 1);
+}
+
+sim::Co<GioMessage>
+AccelQueue::recv()
+{
+    for (;;) {
+        rxActivity_.close();
+        // One poll of the doorbell word in local memory.
+        co_await sim::sleep(cfg_.localLatency);
+        std::uint64_t slotEnd = layout_.rxSlotEnd(rxConsumed_);
+        SlotMeta meta = readSlotMeta(mem_, slotEnd);
+        if (meta.seq == static_cast<std::uint32_t>(rxConsumed_ + 1)) {
+            GioMessage msg;
+            msg.tag = meta.tag;
+            msg.err = meta.err;
+            msg.payload = readSlotPayload(mem_, slotEnd, meta);
+            co_await sim::sleep(static_cast<sim::Tick>(
+                cfg_.perByte * static_cast<double>(meta.len)));
+            ++rxConsumed_;
+            // Update the consumer register (local write; the SNIC
+            // reads it lazily over RDMA for flow control).
+            mem_.writeU32(layout_.rxConsOff(),
+                          static_cast<std::uint32_t>(rxConsumed_));
+            co_await sim::sleep(cfg_.localLatency);
+            stats_.counter("rx_msgs").add();
+            stats_.counter("rx_bytes").add(meta.len);
+            co_return msg;
+        }
+        co_await rxActivity_.wait();
+    }
+}
+
+sim::Co<void>
+AccelQueue::send(std::uint32_t tag, std::span<const std::uint8_t> payload,
+                 std::uint32_t err)
+{
+    LYNX_ASSERT(payload.size() <= layout_.maxPayload(), name_,
+                ": payload of ", payload.size(), " bytes exceeds slot");
+    // Flow control: wait for TX-ring space (SNIC returns credit by
+    // writing txCons after forwarding).
+    for (;;) {
+        txConsActivity_.close();
+        co_await sim::sleep(cfg_.localLatency);
+        txConsCache_ =
+            advance(txConsCache_, mem_.readU32(layout_.txConsOff()));
+        if (txProduced_ - txConsCache_ < layout_.slots)
+            break;
+        stats_.counter("tx_stalls").add();
+        co_await txConsActivity_.wait();
+    }
+
+    SlotMeta meta;
+    meta.len = static_cast<std::uint32_t>(payload.size());
+    meta.tag = tag;
+    meta.err = err;
+    meta.seq = static_cast<std::uint32_t>(txProduced_ + 1);
+    auto buf = encodeSlotWrite(payload, meta);
+
+    co_await sim::sleep(
+        cfg_.localLatency +
+        static_cast<sim::Tick>(cfg_.perByte *
+                               static_cast<double>(payload.size())));
+    // One contiguous low-to-high write, doorbell bytes last; the
+    // SNIC-side watchpoint on the TX ring wakes the forwarder.
+    std::uint64_t slotEnd = layout_.txSlotEnd(txProduced_);
+    mem_.write(slotWriteOffset(slotEnd, meta.len), buf);
+    ++txProduced_;
+    stats_.counter("tx_msgs").add();
+    stats_.counter("tx_bytes").add(meta.len);
+}
+
+} // namespace lynx::core

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * gio — the accelerator-side I/O library.
+ *
+ * This is the "lightweight I/O layer on top of mqueues" of paper
+ * §4.3/§5.3: a few wrappers over the producer/consumer rings that
+ * provide familiar recv/send calls with zero copy. It needs nothing
+ * from the accelerator beyond local memory access (plus the ordering
+ * guarantees discussed in §4.4), which is what makes Lynx portable:
+ * the same class serves the GPU persistent kernels and the Intel VCA
+ * integration (where the paper quotes "20 Lines of Code").
+ *
+ * Timing: every local poll/access costs `localLatency`; payload
+ * construction costs `perByte`. Polling is "virtualized": instead of
+ * spinning, the task parks on a Gate that a DeviceMemory watchpoint
+ * opens when the SNIC's RDMA write lands, then pays the poll latency
+ * it would have spent observing the doorbell.
+ */
+
+#ifndef LYNX_LYNX_GIO_HH
+#define LYNX_LYNX_GIO_HH
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "lynx/mqueue.hh"
+#include "pcie/memory.hh"
+#include "sim/co.hh"
+#include "sim/simulator.hh"
+#include "sim/stats.hh"
+#include "sim/sync.hh"
+#include "sim/time.hh"
+
+namespace lynx::core {
+
+/** Accelerator-side timing parameters. */
+struct GioConfig
+{
+    /** Local memory access/poll latency. */
+    sim::Tick localLatency = sim::nanoseconds(200);
+
+    /** Per-byte cost of reading/writing payload in local memory. */
+    double perByte = 0.15;
+};
+
+/** A message as seen by accelerator code. */
+struct GioMessage
+{
+    std::vector<std::uint8_t> payload;
+
+    /** Correlation tag; a response must echo the request's tag. */
+    std::uint32_t tag = 0;
+
+    /** Error status propagated by the SNIC (0 = none). */
+    std::uint32_t err = 0;
+};
+
+/** Accelerator-side handle of one mqueue. */
+class AccelQueue
+{
+  public:
+    AccelQueue(sim::Simulator &sim, std::string name,
+               pcie::DeviceMemory &mem, MqueueLayout layout,
+               GioConfig cfg = {});
+
+    AccelQueue(const AccelQueue &) = delete;
+    AccelQueue &operator=(const AccelQueue &) = delete;
+
+    ~AccelQueue();
+
+    /** @return diagnostic name. */
+    const std::string &name() const { return name_; }
+
+    /** @return the queue geometry. */
+    const MqueueLayout &layout() const { return layout_; }
+
+    /** Await the next request from the RX ring (zero-copy read of
+     *  accelerator-local memory). */
+    sim::Co<GioMessage> recv();
+
+    /** Non-blocking probe: @return whether recv() would not park. */
+    bool rxReady() const;
+
+    /**
+     * Write a message into the TX ring and ring its doorbell.
+     * Suspends while the TX ring is full (SNIC not yet forwarded).
+     */
+    sim::Co<void> send(std::uint32_t tag,
+                       std::span<const std::uint8_t> payload,
+                       std::uint32_t err = 0);
+
+    /** Messages received / sent counters. */
+    sim::StatSet &stats() { return stats_; }
+
+  private:
+    /** Extend 32-bit register value @p observed onto 64-bit @p cache. */
+    static std::uint64_t
+    advance(std::uint64_t cache, std::uint32_t observed)
+    {
+        return cache + static_cast<std::uint32_t>(
+                           observed - static_cast<std::uint32_t>(cache));
+    }
+
+    sim::Simulator &sim_;
+    std::string name_;
+    pcie::DeviceMemory &mem_;
+    MqueueLayout layout_;
+    GioConfig cfg_;
+
+    std::uint64_t rxConsumed_ = 0;
+    std::uint64_t txProduced_ = 0;
+    std::uint64_t txConsCache_ = 0;
+
+    sim::Gate rxActivity_;
+    sim::Gate txConsActivity_;
+    std::uint64_t rxWatchId_ = 0;
+    std::uint64_t txConsWatchId_ = 0;
+
+    sim::StatSet stats_;
+};
+
+} // namespace lynx::core
+
+#endif // LYNX_LYNX_GIO_HH

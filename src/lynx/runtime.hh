@@ -1,0 +1,318 @@
+/**
+ * @file
+ * The Lynx runtime: the generic, application-agnostic network server
+ * that runs on the SNIC (or, source-compatibly, on host CPU cores —
+ * paper §5.1: "the Bluefield version of Lynx is source-compatible to
+ * run on X86").
+ *
+ * A Runtime owns, per paper Fig. 4:
+ *  - the Network Server: listener tasks that perform transport
+ *    processing on the SNIC cores and feed the Message Dispatcher;
+ *  - one Dispatcher per service (listening port);
+ *  - one Forwarder + RC QueuePair per managed accelerator (local or
+ *    remote — only the RdmaPathModel differs, §5.5);
+ *  - backend listeners that steer responses of client mqueues back
+ *    into their RX rings.
+ *
+ * The host CPU's only role is setup: scenario code creates the
+ * runtime, registers accelerators and services, hands the resulting
+ * mqueue layouts to accelerator-side code (gio), and calls start().
+ * From then on no host core is involved ("remains idle from that
+ * point", §4.3).
+ *
+ * Lifetime: the Runtime installs watchpoints on the accelerators'
+ * DeviceMemory regions, so it must be destroyed *before* them —
+ * declare accelerators (and their memories) before the Runtime.
+ */
+
+#ifndef LYNX_LYNX_RUNTIME_HH
+#define LYNX_LYNX_RUNTIME_HH
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "lynx/dispatcher.hh"
+#include "lynx/forwarder.hh"
+#include "lynx/gio.hh"
+#include "lynx/snic_mqueue.hh"
+#include "net/network.hh"
+#include "net/nic.hh"
+#include "net/stack.hh"
+#include "rdma/qp.hh"
+#include "sim/processor.hh"
+#include "sim/simulator.hh"
+
+namespace lynx::core {
+
+class Runtime;
+
+/** One managed accelerator: its memory, QP, forwarders, allocator.
+ *
+ * All the accelerator's mqueues share one RC QP (§5.1), but their
+ * egress is pumped by several forwarding loops so that a single
+ * accelerator with many mqueues exploits every SNIC worker core.
+ */
+class AccelHandle
+{
+  public:
+    AccelHandle(sim::Simulator &sim, std::string name,
+                pcie::DeviceMemory &mem, rdma::RdmaPathModel path,
+                const std::vector<sim::Core *> &fwdCores, net::Nic &nic,
+                net::StackProfile stack, net::StackProfile backendStack,
+                ForwarderConfig fwdCfg)
+        : name_(std::move(name)), mem_(mem),
+          qp_(sim, name_ + ".qp", mem, path)
+    {
+        LYNX_ASSERT(!fwdCores.empty(), name_, ": needs forwarder cores");
+        for (std::size_t i = 0; i < fwdCores.size(); ++i) {
+            forwarders_.push_back(std::make_unique<Forwarder>(
+                sim, name_ + ".fwd" + std::to_string(i), *fwdCores[i],
+                nic, stack, backendStack, fwdCfg));
+        }
+    }
+
+    const std::string &name() const { return name_; }
+    pcie::DeviceMemory &memory() { return mem_; }
+    rdma::QueuePair &qp() { return qp_; }
+
+    /** Assign @p mq to the next forwarding loop round-robin. */
+    void
+    addQueue(SnicMqueue *mq, std::uint16_t servicePort,
+             std::optional<BackendRoute> route = std::nullopt)
+    {
+        forwarders_[fwdRr_++ % forwarders_.size()]->addQueue(
+            mq, servicePort, std::move(route));
+    }
+
+    /** Spawn every forwarding loop. */
+    void
+    startForwarders()
+    {
+        for (auto &f : forwarders_)
+            f->start();
+    }
+
+    /** Carve an mqueue region out of the accelerator's memory. */
+    MqueueLayout
+    allocQueue(std::uint32_t slots, std::uint32_t slotBytes)
+    {
+        MqueueLayout l;
+        l.base = allocOff_;
+        l.slots = slots;
+        l.slotBytes = slotBytes;
+        allocOff_ += (l.totalBytes() + 63) / 64 * 64;
+        LYNX_ASSERT(allocOff_ <= mem_.size(), name_,
+                    ": out of device memory for mqueues");
+        return l;
+    }
+
+  private:
+    std::string name_;
+    pcie::DeviceMemory &mem_;
+    rdma::QueuePair qp_;
+    std::vector<std::unique_ptr<Forwarder>> forwarders_;
+    std::size_t fwdRr_ = 0;
+    std::uint64_t allocOff_ = 0;
+};
+
+/** Parameters of one network-facing service. */
+struct ServiceConfig
+{
+    std::string name = "svc";
+    std::uint16_t port = 7000;
+    net::Protocol proto = net::Protocol::Udp;
+
+    /** Server mqueues created on each accelerator ("Each accelerator
+     *  may have more than one server mqueue associated with the same
+     *  port, e.g., to allow higher parallelism", §4.3). */
+    int queuesPerAccel = 1;
+
+    std::uint32_t ringSlots = 16;
+    std::uint32_t slotBytes = 2048;
+    DispatchPolicy policy = DispatchPolicy::RoundRobin;
+
+    /** Restrict the service to these accelerators (empty = all),
+     *  e.g. to give tenants disjoint accelerators (§4.5). */
+    std::vector<AccelHandle *> accels;
+};
+
+/** One listening port with its dispatcher and mqueues. */
+class Service
+{
+  public:
+    Service(ServiceConfig cfg, net::Endpoint &ep, sim::Tick dispatchCpu)
+        : cfg_(cfg), ep_(ep),
+          dispatcher_(cfg.name + ".dispatch", cfg.policy, dispatchCpu)
+    {}
+
+    const ServiceConfig &config() const { return cfg_; }
+    Dispatcher &dispatcher() { return dispatcher_; }
+    net::Endpoint &endpoint() { return ep_; }
+
+    /** @return layouts of this service's mqueues on @p accel (for
+     *  handing to accelerator-side gio code). */
+    const std::vector<MqueueLayout> &
+    layoutsFor(const AccelHandle &accel) const
+    {
+        for (const auto &pa : perAccel_) {
+            if (pa.accel == &accel)
+                return pa.layouts;
+        }
+        LYNX_PANIC("service ", cfg_.name, " has no queues on ",
+                   accel.name());
+    }
+
+  private:
+    friend class Runtime;
+
+    struct PerAccel
+    {
+        AccelHandle *accel;
+        std::vector<MqueueLayout> layouts;
+    };
+
+    ServiceConfig cfg_;
+    net::Endpoint &ep_;
+    Dispatcher dispatcher_;
+    std::vector<PerAccel> perAccel_;
+};
+
+/** Handle to a client mqueue (accelerator-to-backend channel). */
+struct ClientQueueRef
+{
+    AccelHandle *accel = nullptr;
+    MqueueLayout layout;
+    SnicMqueue *mq = nullptr;
+};
+
+/** Runtime-wide configuration. */
+struct RuntimeConfig
+{
+    /** Worker cores of the platform Lynx runs on (7 ARM cores on
+     *  Bluefield; 1 or 6 Xeon cores for the host variants). */
+    std::vector<sim::Core *> cores;
+
+    /** The frontend NIC (the SNIC's own network identity). */
+    net::Nic *nic = nullptr;
+
+    /** Transport stack cost profile of this platform. */
+    net::StackProfile stack;
+
+    /** Cost profile of persistent backend connections (client
+     *  mqueues); defaults to `stack` when unset. */
+    std::optional<net::StackProfile> backendStack;
+
+    /** Forwarding loops per accelerator (0 = one per worker core). */
+    int forwardersPerAccel = 0;
+
+    /** Dispatcher CPU per message. */
+    sim::Tick dispatchCpu = sim::nanoseconds(500);
+
+    /** Forwarding loop knobs. */
+    ForwarderConfig forwarder;
+
+    /** mqueue write behaviour (coalescing / §5.1 barrier). */
+    SnicMqueueConfig mq;
+
+    /** Accelerator-side gio timing used by makeAccelQueues(). */
+    GioConfig gio;
+
+    /** Listener tasks per service (0 = one per worker core). */
+    int listenersPerService = 0;
+};
+
+/** The SNIC-resident Lynx runtime. */
+class Runtime
+{
+  public:
+    Runtime(sim::Simulator &sim, RuntimeConfig cfg);
+
+    Runtime(const Runtime &) = delete;
+    Runtime &operator=(const Runtime &) = delete;
+
+    /**
+     * Manage an accelerator whose BAR-exposed memory is @p mem,
+     * reachable over @p path (local PCIe p2p, or remote via
+     * RdmaPathModel::viaNetwork — "all what is required ... is to
+     * change the accelerator's host IP", §5.5).
+     * @pre no services have been added yet.
+     */
+    AccelHandle &addAccelerator(const std::string &name,
+                                pcie::DeviceMemory &mem,
+                                rdma::RdmaPathModel path);
+
+    /** Create a service and its mqueues on every accelerator. */
+    Service &addService(ServiceConfig cfg);
+
+    /**
+     * Create a client mqueue on @p accel whose messages go to
+     * @p backend ("the destination address is assigned when the
+     * server is initialized", §4.3).
+     */
+    ClientQueueRef addClientQueue(AccelHandle &accel,
+                                  const std::string &name,
+                                  net::Address backend,
+                                  net::Protocol proto,
+                                  std::uint32_t ringSlots = 16,
+                                  std::uint32_t slotBytes = 2048);
+
+    /** Spawn all listener and forwarder tasks. */
+    void start();
+
+    /** Build accelerator-side gio views of @p svc's queues on
+     *  @p accel (the "pointers passed to the accelerator", §4.3). */
+    std::vector<std::unique_ptr<AccelQueue>>
+    makeAccelQueues(const Service &svc, const AccelHandle &accel);
+
+    /** Build the accelerator-side gio view of a client queue. */
+    std::unique_ptr<AccelQueue> makeAccelQueue(const ClientQueueRef &ref);
+
+    /** @return the managed accelerators. */
+    std::vector<std::unique_ptr<AccelHandle>> &accelerators()
+    {
+        return accels_;
+    }
+
+    /** @return the runtime's NIC. */
+    net::Nic &nic() { return *cfg_.nic; }
+
+    sim::StatSet &stats() { return stats_; }
+
+  private:
+    /** Pick the next worker core round-robin. */
+    sim::Core &nextCore() { return *cfg_.cores[coreRr_++ % cfg_.cores.size()]; }
+
+    /** Listener task body: transport processing + dispatch. */
+    sim::Task listenLoop(Service &svc, sim::Core &core);
+
+    /** Backend-response listener of one client queue. */
+    sim::Task backendLoop(ClientQueueRef ref, net::Endpoint &ep,
+                          net::Protocol proto, sim::Core &core);
+
+    sim::Simulator &sim_;
+    RuntimeConfig cfg_;
+    std::size_t coreRr_ = 0;
+    std::uint16_t nextEphemeralPort_ = 20000;
+    bool started_ = false;
+
+    std::vector<std::unique_ptr<AccelHandle>> accels_;
+    std::vector<std::unique_ptr<Service>> services_;
+    std::vector<std::unique_ptr<SnicMqueue>> mqueues_;
+
+    struct BackendBinding
+    {
+        ClientQueueRef ref;
+        net::Endpoint *ep;
+        net::Protocol proto;
+    };
+    std::vector<BackendBinding> backendBindings_;
+
+    sim::StatSet stats_;
+};
+
+} // namespace lynx::core
+
+#endif // LYNX_LYNX_RUNTIME_HH

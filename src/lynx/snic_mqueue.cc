@@ -1,0 +1,244 @@
+#include "snic_mqueue.hh"
+
+#include "sim/task.hh"
+#include "sim/trace.hh"
+
+namespace lynx::core {
+
+SnicMqueue::SnicMqueue(sim::Simulator &sim, std::string name,
+                       rdma::QueuePair &qp, MqueueLayout layout,
+                       MqueueKind kind, SnicMqueueConfig cfg)
+    : sim_(sim), name_(std::move(name)), qp_(qp), layout_(layout),
+      kind_(kind), cfg_(cfg)
+{
+    // Tag table sized to cover every in-flight request: the RX ring
+    // bounds them, with slack for responses not yet forwarded.
+    std::uint32_t tableSize = layout_.slots * 2;
+    tags_.resize(tableSize);
+    for (std::uint32_t i = 0; i < tableSize; ++i)
+        freeTags_.push_back(tableSize - 1 - i);
+    pendingActivity_ = std::make_unique<sim::Gate>(sim);
+}
+
+void
+SnicMqueue::notePending(std::uint32_t tag, sim::Tick deadline)
+{
+    pending_.push_back(Pending{tag, deadline});
+    pendingActivity_->open();
+}
+
+SnicMqueue::~SnicMqueue()
+{
+    if (txWatchInstalled_)
+        qp_.target().unwatch(txWatchId_);
+}
+
+void
+SnicMqueue::setTxActivityHandler(std::function<void()> fn)
+{
+    if (txWatchInstalled_)
+        qp_.target().unwatch(txWatchId_);
+    txWatchId_ = qp_.target().watch(layout_.txRingOff(),
+                                    layout_.ringBytes(),
+                                    [fn = std::move(fn)](auto, auto) {
+                                        fn();
+                                    });
+    txWatchInstalled_ = true;
+}
+
+sim::Co<void>
+SnicMqueue::refreshRxCons(sim::Core &core)
+{
+    co_await core.exec(qp_.path().postCost);
+    std::uint8_t buf[4];
+    co_await qp_.read(layout_.rxConsOff(), buf);
+    std::uint32_t observed = static_cast<std::uint32_t>(buf[0]) |
+                             (static_cast<std::uint32_t>(buf[1]) << 8) |
+                             (static_cast<std::uint32_t>(buf[2]) << 16) |
+                             (static_cast<std::uint32_t>(buf[3]) << 24);
+    rxConsCache_ = advance(rxConsCache_, observed);
+    stats_.counter("rx_cons_refreshes").add();
+}
+
+sim::Task
+SnicMqueue::asyncRefresh(sim::Core &core)
+{
+    refreshInFlight_ = true;
+    co_await refreshRxCons(core);
+    refreshInFlight_ = false;
+}
+
+sim::Co<bool>
+SnicMqueue::rxPush(sim::Core &core, std::span<const std::uint8_t> payload,
+                   std::uint32_t tag, std::uint32_t err)
+{
+    LYNX_ASSERT(payload.size() <= layout_.maxPayload(), name_,
+                ": payload exceeds slot capacity");
+    // Credit prefetch: once the ring looks half full, refresh the
+    // consumer cache in the background so steady-state pushes never
+    // block on the read round trip.
+    if (!refreshInFlight_ &&
+        rxProduced_ - rxConsCache_ >= layout_.slots / 2) {
+        sim::spawn(sim_, asyncRefresh(core));
+    }
+    if (rxProduced_ - rxConsCache_ >= layout_.slots) {
+        co_await refreshRxCons(core);
+        if (rxProduced_ - rxConsCache_ >= layout_.slots) {
+            stats_.counter("rx_full").add();
+            co_return false;
+        }
+    }
+
+    // Claim the slot *before* any suspension point: several listener
+    // tasks may push into the same mqueue concurrently, and two
+    // writers must never pick the same slot. Claim order equals seq
+    // order; the accelerator consumes strictly by seq, so slightly
+    // out-of-order deliveries on the QP are harmless.
+    std::uint64_t mySlot = rxProduced_++;
+
+    SlotMeta meta;
+    meta.len = static_cast<std::uint32_t>(payload.size());
+    meta.tag = tag;
+    meta.err = err;
+    meta.seq = static_cast<std::uint32_t>(mySlot + 1);
+    std::uint64_t slotEnd = layout_.rxSlotEnd(mySlot);
+
+    if (cfg_.writeBarrier) {
+        // §5.1 GPU consistency workaround: RDMA write of the data,
+        // blocking RDMA read as a write barrier, RDMA write of the
+        // doorbell. Three posted ops, one of them blocking.
+        SlotMeta noBell = meta;
+        noBell.seq = 0;
+        auto buf = encodeSlotWrite(payload, noBell);
+        buf.resize(buf.size() - 4); // everything but the doorbell
+        co_await core.exec(qp_.path().postCost);
+        qp_.postWrite(slotWriteOffset(slotEnd, meta.len), std::move(buf));
+        co_await core.exec(qp_.path().postCost);
+        co_await qp_.readBarrier();
+        co_await core.exec(qp_.path().postCost);
+        std::uint32_t s = meta.seq;
+        qp_.postWrite(slotEnd - 4,
+                      {static_cast<std::uint8_t>(s),
+                       static_cast<std::uint8_t>(s >> 8),
+                       static_cast<std::uint8_t>(s >> 16),
+                       static_cast<std::uint8_t>(s >> 24)});
+    } else if (cfg_.coalesceMetadata) {
+        // One contiguous low-to-high write; doorbell bytes land last.
+        co_await core.exec(qp_.path().postCost);
+        qp_.postWrite(slotWriteOffset(slotEnd, meta.len),
+                      encodeSlotWrite(payload, meta));
+    } else {
+        // Separate data and metadata writes (2 ops; RC keeps order).
+        co_await core.exec(qp_.path().postCost);
+        qp_.postWrite(slotWriteOffset(slotEnd, meta.len),
+                      {payload.begin(), payload.end()});
+        std::vector<std::uint8_t> metaBuf(SlotMeta::bytes);
+        auto putU32 = [&](std::size_t off, std::uint32_t v) {
+            metaBuf[off] = static_cast<std::uint8_t>(v);
+            metaBuf[off + 1] = static_cast<std::uint8_t>(v >> 8);
+            metaBuf[off + 2] = static_cast<std::uint8_t>(v >> 16);
+            metaBuf[off + 3] = static_cast<std::uint8_t>(v >> 24);
+        };
+        putU32(0, meta.len);
+        putU32(4, meta.tag);
+        putU32(8, meta.err);
+        putU32(12, meta.seq);
+        co_await core.exec(qp_.path().postCost);
+        qp_.postWrite(slotEnd - SlotMeta::bytes, std::move(metaBuf));
+    }
+
+    LYNX_TRACE(sim_, "mqueue", name_, ": rx push seq ", meta.seq,
+               " len ", meta.len, " tag ", meta.tag);
+    stats_.counter("rx_pushed").add();
+    stats_.counter("rx_bytes").add(meta.len);
+    co_return true;
+}
+
+sim::Co<std::optional<TxMessage>>
+SnicMqueue::pollTx(sim::Core &core)
+{
+    // The forwarder issues a stream of pipelined RDMA reads over the
+    // TX doorbells and slots; modelling each read as a full blocking
+    // round trip would serialize what the NIC overlaps. We therefore
+    // check the doorbell against current memory (exact, because a
+    // slot is never rewritten before its credit returns) and charge
+    // the post cost plus the one-way fetch latency of the slot for a
+    // hit. Misses are free: the forwarder only polls queues whose
+    // doorbell watchpoint fired, and pays the round-robin scan cost
+    // separately.
+    stats_.counter("tx_polls").add();
+    std::uint64_t slotEnd = layout_.txSlotEnd(txConsumed_);
+    SlotMeta meta = readSlotMeta(qp_.target(), slotEnd);
+    if (meta.seq != static_cast<std::uint32_t>(txConsumed_ + 1))
+        co_return std::nullopt;
+
+    co_await core.exec(qp_.path().postCost);
+    co_await sim::sleep(qp_.path().nicLatency + qp_.path().oneWay +
+                        qp_.path().serialization(meta.len +
+                                                 SlotMeta::bytes));
+
+    TxMessage msg;
+    msg.payload = readSlotPayload(qp_.target(), slotEnd, meta);
+    msg.tag = meta.tag;
+    msg.err = meta.err;
+    ++txConsumed_;
+    LYNX_TRACE(sim_, "mqueue", name_, ": tx pop seq ", meta.seq,
+               " len ", meta.len, " tag ", meta.tag);
+    stats_.counter("tx_popped").add();
+    stats_.counter("tx_bytes").add(meta.len);
+    co_return msg;
+}
+
+sim::Co<void>
+SnicMqueue::commitTxCons(sim::Core &core)
+{
+    if (txCommitted_ == txConsumed_)
+        co_return;
+    txCommitted_ = txConsumed_;
+    std::uint32_t v = static_cast<std::uint32_t>(txConsumed_);
+    co_await core.exec(qp_.path().postCost);
+    qp_.postWrite(layout_.txConsOff(),
+                  {static_cast<std::uint8_t>(v),
+                   static_cast<std::uint8_t>(v >> 8),
+                   static_cast<std::uint8_t>(v >> 16),
+                   static_cast<std::uint8_t>(v >> 24)});
+    stats_.counter("tx_cons_commits").add();
+}
+
+std::optional<std::uint32_t>
+SnicMqueue::allocTag(const ClientRef &client)
+{
+    LYNX_ASSERT(kind_ == MqueueKind::Server,
+                "tag table is a server-queue facility");
+    if (freeTags_.empty()) {
+        stats_.counter("tag_table_full").add();
+        return std::nullopt;
+    }
+    std::uint32_t tag = freeTags_.back();
+    freeTags_.pop_back();
+    tags_[tag] = client;
+    return tag;
+}
+
+ClientRef
+SnicMqueue::releaseTag(std::uint32_t tag)
+{
+    LYNX_ASSERT(tag < tags_.size() && tags_[tag].has_value(),
+                name_, ": response with unknown tag ", tag);
+    ClientRef c = *tags_[tag];
+    tags_[tag].reset();
+    freeTags_.push_back(tag);
+    return c;
+}
+
+std::optional<SnicMqueue::Pending>
+SnicMqueue::popPending()
+{
+    if (pending_.empty())
+        return std::nullopt;
+    Pending p = pending_.front();
+    pending_.pop_front();
+    return p;
+}
+
+} // namespace lynx::core

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * The SNIC-side view of an mqueue: the Remote Message Queue Manager
+ * of paper §4.2/§5.1.
+ *
+ * All access to the rings in accelerator memory goes through the
+ * accelerator's RC queue pair:
+ *
+ *  - RX push: one coalesced RDMA write of payload+metadata+doorbell
+ *    (the §5.1 optimization), or the 3-op consistency-barrier
+ *    sequence (data write, blocking RDMA read, doorbell write) when
+ *    `writeBarrier` is set;
+ *  - flow control: the SNIC tracks its own producer count and a
+ *    *cached* copy of the accelerator's consumer register, refreshed
+ *    by an RDMA read only when the ring looks full;
+ *  - TX pop: an RDMA read snapshots the next TX slot; a doorbell
+ *    match yields a message. Credit is returned by writing txCons.
+ *
+ * Server mqueues own a tag table mapping in-flight requests to the
+ * client they came from ("the response will be sent to the client
+ * from which the request was originally received", §4.3); client
+ * mqueues keep a FIFO of pending request tags for matching backend
+ * responses.
+ */
+
+#ifndef LYNX_LYNX_SNIC_MQUEUE_HH
+#define LYNX_LYNX_SNIC_MQUEUE_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "lynx/mqueue.hh"
+#include "net/message.hh"
+#include "rdma/qp.hh"
+#include "sim/co.hh"
+#include "sim/processor.hh"
+#include "sim/stats.hh"
+#include "sim/sync.hh"
+
+namespace lynx::core {
+
+/** Server mqueues serve a listening port; client mqueues reach a
+ *  fixed backend destination (§4.3). */
+enum class MqueueKind { Server, Client };
+
+/** SNIC-side behaviour switches. */
+struct SnicMqueueConfig
+{
+    /** Coalesce payload, metadata and doorbell into one RDMA write
+     *  (§5.1). Off = separate data and doorbell writes. */
+    bool coalesceMetadata = true;
+
+    /** Use the GPU consistency workaround: data write + blocking
+     *  RDMA read barrier + doorbell write (§5.1; adds ~5 us and
+     *  disables coalescing). */
+    bool writeBarrier = false;
+};
+
+/** A message popped from an mqueue's TX ring. */
+struct TxMessage
+{
+    std::vector<std::uint8_t> payload;
+    std::uint32_t tag = 0;
+    std::uint32_t err = 0;
+};
+
+/** Identity of the client an in-flight request came from, plus the
+ *  request's generator bookkeeping echoed back on the response. */
+struct ClientRef
+{
+    net::Address addr;
+    net::Protocol proto = net::Protocol::Udp;
+    std::uint64_t seq = 0;
+    sim::Tick sentAt = 0;
+};
+
+/** SNIC-side manager of one mqueue. */
+class SnicMqueue
+{
+  public:
+    SnicMqueue(sim::Simulator &sim, std::string name, rdma::QueuePair &qp,
+               MqueueLayout layout, MqueueKind kind,
+               SnicMqueueConfig cfg = {});
+
+    SnicMqueue(const SnicMqueue &) = delete;
+    SnicMqueue &operator=(const SnicMqueue &) = delete;
+
+    ~SnicMqueue();
+
+    const std::string &name() const { return name_; }
+    MqueueKind kind() const { return kind_; }
+    const MqueueLayout &layout() const { return layout_; }
+
+    /**
+     * Push one message into the RX ring. Charges post cost(s) on
+     * @p core, refreshes the consumer cache over RDMA if the ring
+     * looks full.
+     * @return false if the ring is genuinely full (caller drops —
+     * UDP semantics — or retries).
+     */
+    sim::Co<bool> rxPush(sim::Core &core,
+                         std::span<const std::uint8_t> payload,
+                         std::uint32_t tag, std::uint32_t err = 0);
+
+    /**
+     * Try to pop the next TX-ring message: one RDMA slot read.
+     * @return the message if its doorbell had been rung.
+     */
+    sim::Co<std::optional<TxMessage>> pollTx(sim::Core &core);
+
+    /** @return whether TX credit must be committed (pending pops). */
+    bool txCommitPending() const { return txCommitted_ != txConsumed_; }
+
+    /** Write the txCons credit register back to the accelerator. */
+    sim::Co<void> commitTxCons(sim::Core &core);
+
+    /**
+     * Install @p fn to run whenever the accelerator writes into this
+     * queue's TX ring (the forwarder's wakeup hook).
+     */
+    void setTxActivityHandler(std::function<void()> fn);
+
+    /** @{ Server-queue tag table. */
+    std::optional<std::uint32_t> allocTag(const ClientRef &client);
+    ClientRef releaseTag(std::uint32_t tag);
+    /** @} */
+
+    /** @{ Client-queue pending-request FIFO.
+     *  Each in-flight backend request carries the deadline by which
+     *  its response must arrive; the backend listener turns expired
+     *  entries into error responses (the mqueue metadata's "error
+     *  status from the Bluefield if a connection error is detected",
+     *  §5.1). */
+    struct Pending
+    {
+        std::uint32_t tag;
+        sim::Tick deadline;
+    };
+
+    void notePending(std::uint32_t tag, sim::Tick deadline);
+    std::optional<Pending> popPending();
+    bool hasPending() const { return !pending_.empty(); }
+    const Pending *oldestPending() const
+    {
+        return pending_.empty() ? nullptr : &pending_.front();
+    }
+    /** Opened whenever notePending() runs (backend-listener wakeup). */
+    sim::Gate &pendingActivity() { return *pendingActivity_; }
+    /** @} */
+
+    sim::StatSet &stats() { return stats_; }
+
+  private:
+    /** Refresh the cached rxCons register over RDMA. */
+    sim::Co<void> refreshRxCons(sim::Core &core);
+
+    /** Background credit prefetch: refresh the consumer cache before
+     *  the ring *looks* full, so the push path rarely blocks on the
+     *  read round trip. */
+    sim::Task asyncRefresh(sim::Core &core);
+
+    static std::uint64_t
+    advance(std::uint64_t cache, std::uint32_t observed)
+    {
+        return cache + static_cast<std::uint32_t>(
+                           observed - static_cast<std::uint32_t>(cache));
+    }
+
+    sim::Simulator &sim_;
+    std::string name_;
+    rdma::QueuePair &qp_;
+    MqueueLayout layout_;
+    MqueueKind kind_;
+    SnicMqueueConfig cfg_;
+
+    std::uint64_t rxProduced_ = 0;
+    std::uint64_t rxConsCache_ = 0;
+    bool refreshInFlight_ = false;
+    std::uint64_t txConsumed_ = 0;
+    std::uint64_t txCommitted_ = 0;
+
+    /** Tag table (server queues): slot -> client, with freelist. */
+    std::vector<std::optional<ClientRef>> tags_;
+    std::vector<std::uint32_t> freeTags_;
+
+    /** Pending backend requests (client queues), FIFO. */
+    std::deque<Pending> pending_;
+    std::unique_ptr<sim::Gate> pendingActivity_;
+
+    std::uint64_t txWatchId_ = 0;
+    bool txWatchInstalled_ = false;
+
+    sim::StatSet stats_;
+};
+
+} // namespace lynx::core
+
+#endif // LYNX_LYNX_SNIC_MQUEUE_HH

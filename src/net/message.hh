@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Application-level network messages.
+ *
+ * The network substrate is message-granular: a Message is one
+ * application datagram / one TCP application record. Transport
+ * behaviour is expressed as CPU stack costs (net/stack.hh) and wire
+ * time, which is the level of detail the paper's experiments resolve
+ * (requests/sec and request latency, not packet traces).
+ */
+
+#ifndef LYNX_NET_MESSAGE_HH
+#define LYNX_NET_MESSAGE_HH
+
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+#include "sim/time.hh"
+
+namespace lynx::net {
+
+/** Transport protocol of a message. */
+enum class Protocol : std::uint8_t { Udp, Tcp };
+
+/** @return protocol name for diagnostics. */
+inline const char *
+protocolName(Protocol p)
+{
+    return p == Protocol::Udp ? "udp" : "tcp";
+}
+
+/** Network endpoint address: (node id, port). */
+struct Address
+{
+    std::uint32_t node = 0;
+    std::uint16_t port = 0;
+
+    auto operator<=>(const Address &) const = default;
+};
+
+inline std::ostream &
+operator<<(std::ostream &os, const Address &a)
+{
+    return os << "n" << a.node << ":" << a.port;
+}
+
+/** One application message in flight. */
+struct Message
+{
+    Address src;
+    Address dst;
+    Protocol proto = Protocol::Udp;
+    std::vector<std::uint8_t> payload;
+
+    /** Stamped by the sending application; carried end-to-end so the
+     *  receiver (or the echoed-back client) can compute latency. */
+    sim::Tick sentAt = 0;
+
+    /** Generator sequence tag for request/response matching. */
+    std::uint64_t seq = 0;
+
+    /** @return payload size in bytes. */
+    std::uint64_t size() const { return payload.size(); }
+};
+
+} // namespace lynx::net
+
+#endif // LYNX_NET_MESSAGE_HH

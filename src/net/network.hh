@@ -1,0 +1,121 @@
+/**
+ * @file
+ * The switched network connecting all nodes.
+ *
+ * Star topology through one switch (the paper's testbed: a Mellanox
+ * SN2100 connecting 6 machines). Message flight time is
+ *
+ *     tx NIC hw + serialization(src link) + switch latency +
+ *     propagation + rx NIC hw
+ *
+ * Delivery preserves per-(src,dst) FIFO order because latency is
+ * deterministic for a given size and events tie-break FIFO.
+ */
+
+#ifndef LYNX_NET_NETWORK_HH
+#define LYNX_NET_NETWORK_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "message.hh"
+#include "nic.hh"
+#include "sim/random.hh"
+#include "sim/simulator.hh"
+#include "sim/stats.hh"
+#include "sim/time.hh"
+
+namespace lynx::net {
+
+/** Fabric-wide timing parameters. */
+struct NetworkConfig
+{
+    /** Store-and-forward latency of the switch. */
+    sim::Tick switchLatency = sim::nanoseconds(600);
+
+    /** Cable propagation (total, both hops). */
+    sim::Tick propagation = sim::nanoseconds(400);
+
+    /** Probability of dropping a message in the fabric (failure
+     *  injection; 0 in the calibrated experiments — the testbed is a
+     *  single lossless switch). */
+    double lossRate = 0.0;
+
+    /** Seed of the loss process (deterministic replay). */
+    std::uint64_t lossSeed = 0x10ef;
+};
+
+/** The data-center network: a set of NICs behind one switch. */
+class Network
+{
+  public:
+    explicit Network(sim::Simulator &sim, NetworkConfig cfg = {})
+        : sim_(sim), cfg_(cfg), lossRng_(cfg.lossSeed)
+    {}
+
+    Network(const Network &) = delete;
+    Network &operator=(const Network &) = delete;
+
+    /**
+     * Attach a new node to the fabric.
+     * @return its NIC; the node id is the attach order.
+     */
+    Nic &
+    addNic(const std::string &name, NicConfig cfg = {})
+    {
+        auto node = static_cast<std::uint32_t>(nics_.size());
+        nics_.push_back(std::make_unique<Nic>(sim_, *this, name, node, cfg));
+        return *nics_.back();
+    }
+
+    /** @return the NIC of @p node. */
+    Nic &
+    nicOf(std::uint32_t node)
+    {
+        LYNX_ASSERT(node < nics_.size(), "unknown node ", node);
+        return *nics_[node];
+    }
+
+    /** @return number of attached nodes. */
+    std::size_t nodeCount() const { return nics_.size(); }
+
+    /**
+     * Route @p m from the wire to its destination NIC. Called by
+     * Nic::send after serialization; adds switch + propagation +
+     * receive-side latencies.
+     */
+    void
+    route(Message m)
+    {
+        LYNX_ASSERT(m.dst.node < nics_.size(),
+                    "message to unknown node ", m.dst.node);
+        if (cfg_.lossRate > 0.0 && lossRng_.chance(cfg_.lossRate)) {
+            stats_.counter("dropped_in_fabric").add();
+            return;
+        }
+        Nic &dst = *nics_[m.dst.node];
+        sim::Tick flight = cfg_.switchLatency + cfg_.propagation +
+                           dst.config().hwLatency;
+        stats_.counter("routed").add();
+        sim_.scheduleIn(flight, [&dst, m = std::move(m)]() mutable {
+            dst.deliver(std::move(m));
+        });
+    }
+
+    /** Fabric-wide statistics. */
+    sim::StatSet &stats() { return stats_; }
+
+    sim::Simulator &sim() { return sim_; }
+
+  private:
+    sim::Simulator &sim_;
+    NetworkConfig cfg_;
+    sim::Rng lossRng_;
+    std::vector<std::unique_ptr<Nic>> nics_;
+    sim::StatSet stats_;
+};
+
+} // namespace lynx::net
+
+#endif // LYNX_NET_NETWORK_HH

@@ -1,0 +1,78 @@
+#include "nic.hh"
+
+#include "network.hh"
+
+namespace lynx::net {
+
+Nic::Nic(sim::Simulator &sim, Network &network, std::string name,
+         std::uint32_t node, NicConfig cfg)
+    : sim_(sim), network_(network), name_(std::move(name)), node_(node),
+      cfg_(cfg)
+{}
+
+Endpoint &
+Nic::bind(Protocol proto, std::uint16_t port)
+{
+    Key key{proto, port};
+    LYNX_ASSERT(!endpoints_.contains(key), name_, ": port ", port, "/",
+                protocolName(proto), " already bound");
+    auto ep = std::make_unique<Endpoint>(sim_, proto, port, cfg_.queueDepth);
+    Endpoint &ref = *ep;
+    endpoints_[key] = std::move(ep);
+    return ref;
+}
+
+void
+Nic::unbind(Protocol proto, std::uint16_t port)
+{
+    endpoints_.erase(Key{proto, port});
+}
+
+sim::Co<void>
+Nic::send(Message m)
+{
+    LYNX_ASSERT(m.src.node == node_, name_, ": spoofed source node");
+    stats_.counter("tx_msgs").add();
+    stats_.counter("tx_bytes").add(m.size());
+
+    // Occupy the TX queue for the serialization time: a sender that
+    // outpaces the link sees back-pressure.
+    sim::Tick ser = serialization(m.size());
+    sim::Tick start = std::max(sim_.now(), txBusyUntil_);
+    txBusyUntil_ = start + ser;
+    co_await sim::sleep(txBusyUntil_ - sim_.now());
+
+    // Hardware egress latency happens off the sender's back.
+    Network &net = network_;
+    sim_.scheduleIn(cfg_.hwLatency, [&net, m = std::move(m)]() mutable {
+        net.route(std::move(m));
+    });
+}
+
+void
+Nic::deliver(Message m)
+{
+    stats_.counter("rx_msgs").add();
+    stats_.counter("rx_bytes").add(m.size());
+
+    auto it = endpoints_.find(Key{m.proto, m.dst.port});
+    if (it == endpoints_.end()) {
+        stats_.counter("rx_no_endpoint").add();
+        return;
+    }
+    Endpoint &ep = *it->second;
+    bool pushed = ep.rx_.tryPush(std::move(m));
+    ep.signalArrival();
+    if (!pushed) {
+        // Queue overflow. UDP drops; for TCP this models a zero
+        // receive window, which we approximate by also dropping but
+        // counting separately (the load generators never overrun a
+        // TCP endpoint in the reproduced experiments).
+        ++ep.dropped_;
+        stats_.counter(ep.proto() == Protocol::Udp ? "rx_drop_udp"
+                                                   : "rx_drop_tcp")
+            .add();
+    }
+}
+
+} // namespace lynx::net

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * NIC and bound endpoints.
+ *
+ * A Nic attaches one node to the Network. Applications bind()
+ * (protocol, port) pairs to obtain Endpoints with a receive queue;
+ * the NIC demultiplexes arriving messages by destination port.
+ * Receive queues are finite: UDP overflow drops the message (counted
+ * in stats), TCP overflow backpressures the network task.
+ */
+
+#ifndef LYNX_NET_NIC_HH
+#define LYNX_NET_NIC_HH
+
+#include <coroutine>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "message.hh"
+#include "sim/channel.hh"
+#include "sim/co.hh"
+#include "sim/simulator.hh"
+#include "sim/stats.hh"
+#include "sim/time.hh"
+
+namespace lynx::net {
+
+class Network;
+class Nic;
+
+/** A bound (protocol, port): the application's receive side. */
+class Endpoint
+{
+  public:
+    Endpoint(sim::Simulator &sim, Protocol proto, std::uint16_t port,
+             std::size_t queueDepth)
+        : sim_(sim), proto_(proto), port_(port), rx_(sim, queueDepth)
+    {}
+
+    Endpoint(const Endpoint &) = delete;
+    Endpoint &operator=(const Endpoint &) = delete;
+
+    /** @return bound protocol. */
+    Protocol proto() const { return proto_; }
+
+    /** @return bound port. */
+    std::uint16_t port() const { return port_; }
+
+    /** Await the next received message. */
+    sim::Co<Message>
+    recv()
+    {
+        Message m = co_await rx_.pop();
+        co_return m;
+    }
+
+    /** Non-blocking receive. */
+    std::optional<Message> tryRecv() { return rx_.tryPop(); }
+
+    /** @return messages waiting in the receive queue. */
+    std::size_t backlog() const { return rx_.size(); }
+
+    /** @return messages dropped due to queue overflow (UDP only). */
+    std::uint64_t dropped() const { return dropped_; }
+
+    /**
+     * Awaitable that completes on the next message arrival or after
+     * @p maxWait, whichever is first (completes immediately if a
+     * message is already queued). Used to build receive-with-timeout
+     * without polling; the caller re-checks tryRecv() afterwards.
+     */
+    struct ArrivalState
+    {
+        std::coroutine_handle<> h;
+        bool fired = false;
+    };
+
+    struct WaitArrivalAwaiter
+    {
+        Endpoint &ep;
+        sim::Tick maxWait;
+
+        bool await_ready() const { return !ep.rx_.empty(); }
+
+        template <sim::SimPromise P>
+        void
+        await_suspend(std::coroutine_handle<P> h)
+        {
+            auto st = std::make_shared<ArrivalState>();
+            st->h = h;
+            ep.arrivalWaiters_.push_back(st);
+            ep.sim_.scheduleIn(maxWait, [st] {
+                if (!st->fired) {
+                    st->fired = true;
+                    st->h.resume();
+                }
+            });
+        }
+
+        void await_resume() const {}
+    };
+
+    /** @return awaitable for the next arrival, capped at @p maxWait. */
+    WaitArrivalAwaiter waitArrival(sim::Tick maxWait)
+    {
+        return WaitArrivalAwaiter{*this, maxWait};
+    }
+
+  private:
+    friend class Nic;
+
+    /** Wake everything parked in waitArrival(). */
+    void
+    signalArrival()
+    {
+        for (auto &st : arrivalWaiters_) {
+            if (!st->fired) {
+                st->fired = true;
+                auto h = st->h;
+                sim_.scheduleIn(0, [h] { h.resume(); });
+            }
+        }
+        arrivalWaiters_.clear();
+    }
+
+    sim::Simulator &sim_;
+    Protocol proto_;
+    std::uint16_t port_;
+    sim::Channel<Message> rx_;
+    std::vector<std::shared_ptr<ArrivalState>> arrivalWaiters_;
+    std::uint64_t dropped_ = 0;
+};
+
+/** Physical port configuration of a NIC. */
+struct NicConfig
+{
+    /** Link rate in Gbit/s. */
+    double gbps = 40.0;
+
+    /** Fixed NIC hardware traversal latency (each direction). */
+    sim::Tick hwLatency = sim::nanoseconds(300);
+
+    /** Endpoint receive-queue depth, in messages. */
+    std::size_t queueDepth = 4096;
+};
+
+/** One network adapter attached to the switch fabric. */
+class Nic
+{
+  public:
+    Nic(sim::Simulator &sim, Network &network, std::string name,
+        std::uint32_t node, NicConfig cfg);
+
+    Nic(const Nic &) = delete;
+    Nic &operator=(const Nic &) = delete;
+
+    /** @return diagnostic name. */
+    const std::string &name() const { return name_; }
+
+    /** @return node id this NIC gives network presence to. */
+    std::uint32_t node() const { return node_; }
+
+    /** @return link configuration. */
+    const NicConfig &config() const { return cfg_; }
+
+    /**
+     * Bind (@p proto, @p port) and return its endpoint.
+     * @pre the pair is not yet bound.
+     */
+    Endpoint &bind(Protocol proto, std::uint16_t port);
+
+    /** Release a binding. */
+    void unbind(Protocol proto, std::uint16_t port);
+
+    /**
+     * Transmit @p m into the fabric. Serializes at link rate (the
+     * sending task is held for the serialization time, modelling a
+     * busy TX queue) and delivers asynchronously.
+     */
+    sim::Co<void> send(Message m);
+
+    /** Called by the Network when a message arrives for this node. */
+    void deliver(Message m);
+
+    /** TX/RX counters and drop statistics. */
+    sim::StatSet &stats() { return stats_; }
+
+    /** @return serialization time of @p bytes at link rate. */
+    sim::Tick
+    serialization(std::uint64_t bytes) const
+    {
+        return static_cast<sim::Tick>(static_cast<double>(bytes) * 8.0 /
+                                      cfg_.gbps);
+    }
+
+  private:
+    using Key = std::pair<Protocol, std::uint16_t>;
+
+    sim::Simulator &sim_;
+    Network &network_;
+    std::string name_;
+    std::uint32_t node_;
+    NicConfig cfg_;
+    sim::Tick txBusyUntil_ = 0;
+    std::map<Key, std::unique_ptr<Endpoint>> endpoints_;
+    sim::StatSet stats_;
+};
+
+} // namespace lynx::net
+
+#endif // LYNX_NET_NIC_HH

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Software network-stack cost profiles.
+ *
+ * The per-message CPU cost of transport processing depends on the
+ * stack implementation (kernel sockets vs. the VMA user-level,
+ * kernel-bypass library, paper §5.1.1) and on the protocol (TCP
+ * costs several times more than UDP, §6.3). Costs are in *reference*
+ * nanoseconds (baseline Xeon); slower cores scale them through
+ * sim::Core's speedFactor.
+ */
+
+#ifndef LYNX_NET_STACK_HH
+#define LYNX_NET_STACK_HH
+
+#include "message.hh"
+#include "sim/time.hh"
+
+namespace lynx::net {
+
+/** Direction of a stack traversal. */
+enum class Dir : std::uint8_t { Recv, Send };
+
+/** Per-message CPU costs of one stack implementation. */
+struct StackProfile
+{
+    sim::Tick udpRecv = 0;
+    sim::Tick udpSend = 0;
+    sim::Tick tcpRecv = 0;
+    sim::Tick tcpSend = 0;
+
+    /** Extra cost per payload byte (copies, checksums). */
+    double perByte = 0.0;
+
+    /** @return CPU cost for one @p proto message in direction @p d
+     *  with @p bytes of payload. */
+    sim::Tick
+    cost(Protocol proto, Dir d, std::uint64_t bytes) const
+    {
+        sim::Tick base;
+        if (proto == Protocol::Udp)
+            base = d == Dir::Recv ? udpRecv : udpSend;
+        else
+            base = d == Dir::Recv ? tcpRecv : tcpSend;
+        return base +
+               static_cast<sim::Tick>(perByte * static_cast<double>(bytes));
+    }
+};
+
+} // namespace lynx::net
+
+#endif // LYNX_NET_STACK_HH

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * PCIe fabric cost model.
+ *
+ * Models the latency and bandwidth of transfers crossing a machine's
+ * PCIe hierarchy: host-to-device copies, peer-to-peer DMA between a
+ * NIC and an accelerator, and MMIO register accesses. Small-message
+ * server workloads are latency- rather than bandwidth-bound, so links
+ * are not modelled as contended resources; serialization time is
+ * still charged per transfer.
+ */
+
+#ifndef LYNX_PCIE_FABRIC_HH
+#define LYNX_PCIE_FABRIC_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/co.hh"
+#include "sim/simulator.hh"
+#include "sim/task.hh"
+#include "sim/time.hh"
+
+namespace lynx::pcie {
+
+/** Timing parameters of one machine's PCIe hierarchy. */
+struct FabricConfig
+{
+    /** One-way latency of a DMA crossing the fabric (root complex or
+     *  PCIe switch hop included). */
+    sim::Tick dmaLatency = sim::nanoseconds(900);
+
+    /** Effective payload bandwidth in Gbit/s (PCIe gen3 x8-ish after
+     *  TLP overheads). */
+    double gbps = 50.0;
+
+    /** Latency of a single MMIO register read/write over the bus. */
+    sim::Tick mmioLatency = sim::nanoseconds(800);
+};
+
+/** A machine's PCIe interconnect. */
+class Fabric
+{
+  public:
+    Fabric(sim::Simulator &sim, std::string name, FabricConfig cfg = {})
+        : sim_(sim), name_(std::move(name)), cfg_(cfg)
+    {}
+
+    Fabric(const Fabric &) = delete;
+    Fabric &operator=(const Fabric &) = delete;
+
+    /** @return diagnostic name. */
+    const std::string &name() const { return name_; }
+
+    /** @return the config this fabric was built with. */
+    const FabricConfig &config() const { return cfg_; }
+
+    /** @return time for a DMA of @p bytes to traverse the fabric. */
+    sim::Tick
+    dmaTime(std::uint64_t bytes) const
+    {
+        return cfg_.dmaLatency + serialization(bytes);
+    }
+
+    /** @return pure serialization time of @p bytes at fabric rate. */
+    sim::Tick
+    serialization(std::uint64_t bytes) const
+    {
+        return static_cast<sim::Tick>(static_cast<double>(bytes) * 8.0 /
+                                      cfg_.gbps);
+    }
+
+    /** Await a DMA transfer of @p bytes across the fabric. */
+    sim::Co<void>
+    dma(std::uint64_t bytes)
+    {
+        co_await sim::sleep(dmaTime(bytes));
+    }
+
+    /** Await one MMIO register access (blocking PCIe round trip). */
+    sim::Co<void>
+    mmio()
+    {
+        co_await sim::sleep(cfg_.mmioLatency);
+    }
+
+    sim::Simulator &sim() { return sim_; }
+
+  private:
+    sim::Simulator &sim_;
+    std::string name_;
+    FabricConfig cfg_;
+};
+
+} // namespace lynx::pcie
+
+#endif // LYNX_PCIE_FABRIC_HH

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * BAR-exposed device memory.
+ *
+ * A DeviceMemory is a byte array standing in for the part of an
+ * accelerator's memory that the device exposes on the PCIe bus via
+ * its Base Address Register (the mechanism GPUDirect RDMA relies on,
+ * paper §4.4). Message queues live here as real bytes: the SmartNIC
+ * writes them remotely via RDMA, and the accelerator-side I/O library
+ * reads them locally.
+ *
+ * Watchpoints let simulated pollers sleep instead of busy-spinning:
+ * a write overlapping a watched range fires its callback, which wakes
+ * the poller; the poller then charges itself the discovery latency
+ * real polling would have cost. (Real hardware polls; the simulation
+ * is event-driven. This "virtual polling" keeps timing faithful
+ * without generating unbounded idle events; see DESIGN.md.)
+ */
+
+#ifndef LYNX_PCIE_MEMORY_HH
+#define LYNX_PCIE_MEMORY_HH
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace lynx::pcie {
+
+/** A contiguous, bounds-checked device memory region. */
+class DeviceMemory
+{
+  public:
+    /** Callback invoked after a write overlapping its watched range. */
+    using WriteWatcher = std::function<void(std::uint64_t off,
+                                            std::uint64_t len)>;
+
+    DeviceMemory(std::string name, std::uint64_t size)
+        : name_(std::move(name)), bytes_(size, 0)
+    {}
+
+    DeviceMemory(const DeviceMemory &) = delete;
+    DeviceMemory &operator=(const DeviceMemory &) = delete;
+
+    /** @return diagnostic name. */
+    const std::string &name() const { return name_; }
+
+    /** @return region size in bytes. */
+    std::uint64_t size() const { return bytes_.size(); }
+
+    /** Copy @p data into the region at @p off; fires watchpoints. */
+    void
+    write(std::uint64_t off, std::span<const std::uint8_t> data)
+    {
+        checkRange(off, data.size());
+        std::copy(data.begin(), data.end(), bytes_.begin() + off);
+        notify(off, data.size());
+    }
+
+    /** Copy @p out.size() bytes starting at @p off into @p out. */
+    void
+    read(std::uint64_t off, std::span<std::uint8_t> out) const
+    {
+        checkRange(off, out.size());
+        std::copy_n(bytes_.begin() + off, out.size(), out.begin());
+    }
+
+    /** Write a little-endian 32-bit word. */
+    void
+    writeU32(std::uint64_t off, std::uint32_t v)
+    {
+        std::uint8_t b[4] = {
+            static_cast<std::uint8_t>(v),
+            static_cast<std::uint8_t>(v >> 8),
+            static_cast<std::uint8_t>(v >> 16),
+            static_cast<std::uint8_t>(v >> 24),
+        };
+        write(off, b);
+    }
+
+    /** Read a little-endian 32-bit word. */
+    std::uint32_t
+    readU32(std::uint64_t off) const
+    {
+        std::uint8_t b[4];
+        read(off, b);
+        return static_cast<std::uint32_t>(b[0]) |
+               (static_cast<std::uint32_t>(b[1]) << 8) |
+               (static_cast<std::uint32_t>(b[2]) << 16) |
+               (static_cast<std::uint32_t>(b[3]) << 24);
+    }
+
+    /** Write a little-endian 64-bit word. */
+    void
+    writeU64(std::uint64_t off, std::uint64_t v)
+    {
+        writeU32(off, static_cast<std::uint32_t>(v));
+        writeU32(off + 4, static_cast<std::uint32_t>(v >> 32));
+    }
+
+    /** Read a little-endian 64-bit word. */
+    std::uint64_t
+    readU64(std::uint64_t off) const
+    {
+        return static_cast<std::uint64_t>(readU32(off)) |
+               (static_cast<std::uint64_t>(readU32(off + 4)) << 32);
+    }
+
+    /** @return a read-only view of [off, off+len). */
+    std::span<const std::uint8_t>
+    view(std::uint64_t off, std::uint64_t len) const
+    {
+        checkRange(off, len);
+        return {bytes_.data() + off, len};
+    }
+
+    /**
+     * Watch writes overlapping [off, off+len).
+     * @return an id usable with unwatch().
+     */
+    std::uint64_t
+    watch(std::uint64_t off, std::uint64_t len, WriteWatcher fn)
+    {
+        checkRange(off, len);
+        watchers_.push_back({nextWatchId_, off, len, std::move(fn)});
+        return nextWatchId_++;
+    }
+
+    /** Remove the watchpoint @p id. */
+    void
+    unwatch(std::uint64_t id)
+    {
+        std::erase_if(watchers_, [id](const Watcher &w) {
+            return w.id == id;
+        });
+    }
+
+  private:
+    struct Watcher
+    {
+        std::uint64_t id;
+        std::uint64_t off;
+        std::uint64_t len;
+        WriteWatcher fn;
+    };
+
+    void
+    checkRange(std::uint64_t off, std::uint64_t len) const
+    {
+        LYNX_ASSERT(off + len <= bytes_.size(),
+                    "access [", off, ", ", off + len, ") out of bounds of ",
+                    name_, " (size ", bytes_.size(), ")");
+    }
+
+    void
+    notify(std::uint64_t off, std::uint64_t len)
+    {
+        // Copy the list first: a watcher may add/remove watchpoints.
+        for (const auto &w : std::vector<Watcher>(watchers_)) {
+            if (off < w.off + w.len && w.off < off + len)
+                w.fn(off, len);
+        }
+    }
+
+    std::string name_;
+    std::vector<std::uint8_t> bytes_;
+    std::vector<Watcher> watchers_;
+    std::uint64_t nextWatchId_ = 0;
+};
+
+} // namespace lynx::pcie
+
+#endif // LYNX_PCIE_MEMORY_HH

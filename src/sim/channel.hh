@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Producer/consumer channel for coroutine tasks.
+ *
+ * A Channel<T> is a FIFO of values with optional bounded capacity.
+ * pop() suspends the consumer until an item is available; push()
+ * suspends the producer while the channel is full. Wakeups are
+ * scheduled as zero-delay events so that control flow stays flat and
+ * FIFO-ordered rather than nesting resumes inside resumes.
+ */
+
+#ifndef LYNX_SIM_CHANNEL_HH
+#define LYNX_SIM_CHANNEL_HH
+
+#include <cstddef>
+#include <deque>
+#include <limits>
+#include <optional>
+#include <utility>
+
+#include "simulator.hh"
+#include "task.hh"
+
+namespace lynx::sim {
+
+/** Unbounded-capacity marker for Channel. */
+constexpr std::size_t unbounded = std::numeric_limits<std::size_t>::max();
+
+/**
+ * FIFO channel connecting producer and consumer tasks.
+ *
+ * @tparam T item type; must be movable.
+ */
+template <typename T>
+class Channel
+{
+  public:
+    /**
+     * @param sim owning simulator (used to schedule wakeups).
+     * @param capacity maximum buffered items; sim::unbounded for no
+     *                 limit. A capacity of 0 is bumped to 1.
+     */
+    explicit Channel(Simulator &sim, std::size_t capacity = unbounded)
+        : sim_(sim), capacity_(capacity == 0 ? 1 : capacity)
+    {}
+
+    Channel(const Channel &) = delete;
+    Channel &operator=(const Channel &) = delete;
+
+    /** @return number of buffered items. */
+    std::size_t size() const { return items_.size(); }
+
+    /** @return whether no items are buffered. */
+    bool empty() const { return items_.empty(); }
+
+    /** @return number of consumers currently suspended in pop(). */
+    std::size_t waitingConsumers() const { return poppers_.size(); }
+
+    /**
+     * Non-blocking push.
+     * @return false if the channel is full and no consumer waits.
+     */
+    bool
+    tryPush(T v)
+    {
+        if (deliverToWaiter(v))
+            return true;
+        if (items_.size() >= capacity_)
+            return false;
+        items_.push_back(std::move(v));
+        return true;
+    }
+
+    /** Non-blocking pop. @return nullopt if no item is buffered. */
+    std::optional<T>
+    tryPop()
+    {
+        if (items_.empty())
+            return std::nullopt;
+        T v = std::move(items_.front());
+        items_.pop_front();
+        admitPusher();
+        return v;
+    }
+
+    /** Awaiter returned by pop(). */
+    struct PopAwaiter
+    {
+        Channel &ch;
+        std::optional<T> value;
+
+        bool
+        await_ready()
+        {
+            auto v = ch.tryPop();
+            if (!v)
+                return false;
+            value = std::move(v);
+            return true;
+        }
+
+        template <SimPromise P>
+        void
+        await_suspend(std::coroutine_handle<P> h)
+        {
+            ch.poppers_.push_back(Popper{h, &value});
+        }
+
+        T await_resume() { return std::move(*value); }
+    };
+
+    /** Awaiter returned by push(). */
+    struct PushAwaiter
+    {
+        Channel &ch;
+        std::optional<T> value;
+
+        bool
+        await_ready()
+        {
+            if (ch.tryPush(std::move(*value)))
+                return true;
+            return false;
+        }
+
+        template <SimPromise P>
+        void
+        await_suspend(std::coroutine_handle<P> h)
+        {
+            ch.pushers_.push_back(Pusher{h, &value});
+        }
+
+        void await_resume() {}
+    };
+
+    /** @return awaitable yielding the next item (FIFO). */
+    PopAwaiter pop() { return PopAwaiter{*this, std::nullopt}; }
+
+    /** @return awaitable that enqueues @p v, suspending while full. */
+    PushAwaiter push(T v) { return PushAwaiter{*this, std::move(v)}; }
+
+  private:
+    struct Popper
+    {
+        std::coroutine_handle<> h;
+        std::optional<T> *slot;
+    };
+
+    struct Pusher
+    {
+        std::coroutine_handle<> h;
+        std::optional<T> *slot;
+    };
+
+    /** Hand @p v directly to a suspended consumer, if any. */
+    bool
+    deliverToWaiter(T &v)
+    {
+        if (poppers_.empty())
+            return false;
+        Popper p = poppers_.front();
+        poppers_.pop_front();
+        *p.slot = std::move(v);
+        sim_.scheduleIn(0, [h = p.h] { h.resume(); });
+        return true;
+    }
+
+    /** Move a suspended producer's item into freed buffer space. */
+    void
+    admitPusher()
+    {
+        if (pushers_.empty() || items_.size() >= capacity_)
+            return;
+        Pusher p = pushers_.front();
+        pushers_.pop_front();
+        items_.push_back(std::move(**p.slot));
+        sim_.scheduleIn(0, [h = p.h] { h.resume(); });
+    }
+
+    Simulator &sim_;
+    std::size_t capacity_;
+    std::deque<T> items_;
+    std::deque<Popper> poppers_;
+    std::deque<Pusher> pushers_;
+};
+
+} // namespace lynx::sim
+
+#endif // LYNX_SIM_CHANNEL_HH

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * A CPU core as a serially-shared simulation resource.
+ *
+ * Model code charges work to a core with co_await core.exec(cost):
+ * the task queues FIFO for the core, holds it for the scaled cost,
+ * and releases it. Costs are expressed in *reference* nanoseconds
+ * (time the work takes on a baseline Xeon core); slower processors
+ * (e.g. Bluefield's ARM A72) scale them with speedFactor, and
+ * cache-contention models scale them dynamically with contention().
+ */
+
+#ifndef LYNX_SIM_PROCESSOR_HH
+#define LYNX_SIM_PROCESSOR_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "co.hh"
+#include "simulator.hh"
+#include "sync.hh"
+#include "time.hh"
+
+namespace lynx::sim {
+
+/** One CPU core: runs at most one piece of work at a time. */
+class Core
+{
+  public:
+    /**
+     * @param sim owning simulator.
+     * @param name diagnostic name, e.g. "bluefield.arm3".
+     * @param speedFactor multiplier applied to reference costs
+     *        (>1 means slower than the reference Xeon core).
+     */
+    Core(Simulator &sim, std::string name, double speedFactor = 1.0)
+        : sim_(sim), name_(std::move(name)), speedFactor_(speedFactor),
+          busy_(sim, 1)
+    {}
+
+    Core(const Core &) = delete;
+    Core &operator=(const Core &) = delete;
+
+    /** @return diagnostic name. */
+    const std::string &name() const { return name_; }
+
+    /** @return static speed multiplier. */
+    double speedFactor() const { return speedFactor_; }
+
+    /** @return dynamic contention multiplier (≥1). */
+    double contention() const { return contention_; }
+
+    /** Set the dynamic contention multiplier (LLC model hook). */
+    void
+    setContention(double factor)
+    {
+        LYNX_ASSERT(factor >= 1.0, "contention factor below 1");
+        contention_ = factor;
+    }
+
+    /** @return total ticks this core has spent executing work. */
+    Tick busyTime() const { return busyTime_; }
+
+    /** @return fraction of [0, elapsed] spent busy. */
+    double
+    utilization(Tick elapsed) const
+    {
+        return elapsed ? static_cast<double>(busyTime_) /
+                             static_cast<double>(elapsed)
+                       : 0.0;
+    }
+
+    /** @return ticks that @p referenceCost takes on this core now. */
+    Tick
+    scaledCost(Tick referenceCost) const
+    {
+        return static_cast<Tick>(static_cast<double>(referenceCost) *
+                                 speedFactor_ * contention_);
+    }
+
+    /**
+     * Execute @p referenceCost worth of work on this core: queue FIFO
+     * behind earlier work, occupy the core for the scaled duration.
+     */
+    Co<void>
+    exec(Tick referenceCost)
+    {
+        co_await busy_.acquire();
+        Tick cost = scaledCost(referenceCost);
+        busyTime_ += cost;
+        co_await sleep(cost);
+        busy_.release();
+    }
+
+    /**
+     * Execute work and then run @p fn while still holding the core
+     * (for operations whose effect must be atomic with the charge).
+     */
+    template <typename Fn>
+    Co<void>
+    execThen(Tick referenceCost, Fn fn)
+    {
+        co_await busy_.acquire();
+        Tick cost = scaledCost(referenceCost);
+        busyTime_ += cost;
+        co_await sleep(cost);
+        fn();
+        busy_.release();
+    }
+
+  private:
+    Simulator &sim_;
+    std::string name_;
+    double speedFactor_;
+    double contention_ = 1.0;
+    Tick busyTime_ = 0;
+    Semaphore busy_;
+};
+
+/** A named group of identical cores (a socket or an SNIC complex). */
+class CorePool
+{
+  public:
+    /** Create @p n cores named "<prefix>.<i>". */
+    CorePool(Simulator &sim, const std::string &prefix, std::size_t n,
+             double speedFactor = 1.0)
+    {
+        for (std::size_t i = 0; i < n; ++i) {
+            cores_.push_back(std::make_unique<Core>(
+                sim, prefix + "." + std::to_string(i), speedFactor));
+        }
+    }
+
+    /** @return number of cores. */
+    std::size_t size() const { return cores_.size(); }
+
+    /** @return core @p i. */
+    Core &operator[](std::size_t i) { return *cores_.at(i); }
+    const Core &operator[](std::size_t i) const { return *cores_.at(i); }
+
+    /** Set the contention multiplier on every core. */
+    void
+    setContention(double factor)
+    {
+        for (auto &c : cores_)
+            c->setContention(factor);
+    }
+
+  private:
+    std::vector<std::unique_ptr<Core>> cores_;
+};
+
+} // namespace lynx::sim
+
+#endif // LYNX_SIM_PROCESSOR_HH

@@ -1,0 +1,81 @@
+#include "simulator.hh"
+
+#include <algorithm>
+
+namespace lynx::sim {
+
+Simulator::~Simulator()
+{
+    // Drop pending events without firing them, then destroy any task
+    // coroutines that are still suspended (e.g. server loops parked on
+    // a channel). Destruction order matters: no coroutine may be
+    // resumed past this point, only destroyed.
+    tearingDown_ = true;
+    while (!calendar_.empty())
+        calendar_.pop();
+    // Destroying one coroutine can unregister others (a coroutine's
+    // locals may own Tasks), so iterate defensively.
+    while (!liveCoroutines_.empty()) {
+        auto h = liveCoroutines_.back();
+        liveCoroutines_.pop_back();
+        h.destroy();
+    }
+}
+
+bool
+Simulator::step()
+{
+    if (calendar_.empty())
+        return false;
+    // Move the event out before popping so that handlers may schedule
+    // new events (which mutates the calendar).
+    auto &top = calendar_.top();
+    Tick when = top.when;
+    auto fn = std::move(const_cast<PendingEvent &>(top).fn);
+    calendar_.pop();
+    LYNX_ASSERT(when >= now_, "calendar went backwards");
+    now_ = when;
+    ++eventsExecuted_;
+    fn();
+    return true;
+}
+
+Tick
+Simulator::run()
+{
+    while (!stopped_ && step()) {
+    }
+    return now_;
+}
+
+Tick
+Simulator::runUntil(Tick deadline)
+{
+    while (!stopped_ && !calendar_.empty() &&
+           calendar_.top().when <= deadline) {
+        step();
+    }
+    if (!stopped_ && now_ < deadline)
+        now_ = deadline;
+    return now_;
+}
+
+void
+Simulator::registerCoroutine(std::coroutine_handle<> h)
+{
+    liveCoroutines_.push_back(h);
+}
+
+void
+Simulator::unregisterCoroutine(std::coroutine_handle<> h)
+{
+    if (tearingDown_)
+        return;
+    auto it = std::find(liveCoroutines_.begin(), liveCoroutines_.end(), h);
+    if (it != liveCoroutines_.end()) {
+        *it = liveCoroutines_.back();
+        liveCoroutines_.pop_back();
+    }
+}
+
+} // namespace lynx::sim

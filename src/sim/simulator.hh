@@ -1,0 +1,129 @@
+/**
+ * @file
+ * The discrete-event simulation core.
+ *
+ * A Simulator owns the event calendar and the simulated clock. Model
+ * code schedules plain callbacks (schedule()) or, more commonly, runs
+ * as coroutine tasks (see task.hh) that suspend on awaitables built on
+ * top of the calendar.
+ *
+ * Determinism: events with equal timestamps fire in scheduling
+ * (FIFO) order, and all randomness flows through seeded Rng instances,
+ * so a scenario replays identically run-to-run.
+ */
+
+#ifndef LYNX_SIM_SIMULATOR_HH
+#define LYNX_SIM_SIMULATOR_HH
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "logging.hh"
+#include "time.hh"
+
+namespace lynx::sim {
+
+/**
+ * Discrete-event simulator: clock + event calendar + coroutine
+ * registry.
+ */
+class Simulator
+{
+  public:
+    Simulator() = default;
+    ~Simulator();
+
+    Simulator(const Simulator &) = delete;
+    Simulator &operator=(const Simulator &) = delete;
+
+    /** @return the current simulated time. */
+    Tick now() const { return now_; }
+
+    /**
+     * Schedule @p fn to run at absolute time @p when.
+     * @pre when >= now().
+     */
+    void
+    schedule(Tick when, std::function<void()> fn)
+    {
+        LYNX_ASSERT(when >= now_, "scheduling into the past");
+        calendar_.push(PendingEvent{when, nextSeq_++, std::move(fn)});
+    }
+
+    /** Schedule @p fn to run @p delay ticks from now. */
+    void
+    scheduleIn(Tick delay, std::function<void()> fn)
+    {
+        schedule(now_ + delay, std::move(fn));
+    }
+
+    /**
+     * Run until the calendar drains or stop() is called.
+     * @return the final simulated time.
+     */
+    Tick run();
+
+    /**
+     * Run until simulated time reaches @p deadline (events at exactly
+     * @p deadline still fire), the calendar drains, or stop() is
+     * called. The clock is advanced to @p deadline if the calendar
+     * drained earlier.
+     */
+    Tick runUntil(Tick deadline);
+
+    /** Request that run()/runUntil() return after the current event. */
+    void stop() { stopped_ = true; }
+
+    /** @return whether stop() was requested. */
+    bool stopped() const { return stopped_; }
+
+    /** Re-arm a stopped simulator so it can run again. */
+    void reset_stop() { stopped_ = false; }
+
+    /** Number of events executed so far (for tests/benchmarks). */
+    std::uint64_t eventsExecuted() const { return eventsExecuted_; }
+
+    /**
+     * @{
+     * @name Coroutine registry
+     * Live task coroutines register here so that a simulator torn down
+     * mid-scenario (e.g. servers still parked on channels) can destroy
+     * them and avoid leaks. See task.hh.
+     */
+    void registerCoroutine(std::coroutine_handle<> h);
+    void unregisterCoroutine(std::coroutine_handle<> h);
+    std::size_t liveCoroutines() const { return liveCoroutines_.size(); }
+    /** @} */
+
+  private:
+    struct PendingEvent
+    {
+        Tick when;
+        std::uint64_t seq;
+        std::function<void()> fn;
+
+        bool
+        operator>(const PendingEvent &o) const
+        {
+            return when != o.when ? when > o.when : seq > o.seq;
+        }
+    };
+
+    bool step();
+
+    Tick now_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    std::uint64_t eventsExecuted_ = 0;
+    bool stopped_ = false;
+    bool tearingDown_ = false;
+    std::priority_queue<PendingEvent, std::vector<PendingEvent>,
+                        std::greater<PendingEvent>> calendar_;
+    std::vector<std::coroutine_handle<>> liveCoroutines_;
+};
+
+} // namespace lynx::sim
+
+#endif // LYNX_SIM_SIMULATOR_HH

@@ -1,0 +1,19 @@
+#include "stats.hh"
+
+namespace lynx::sim {
+
+void
+StatSet::dump(std::ostream &os, const std::string &prefix) const
+{
+    for (const auto &kv : counters_)
+        os << prefix << kv.first << " = " << kv.second.value() << "\n";
+    for (const auto &kv : histograms_) {
+        const Histogram &h = kv.second;
+        os << prefix << kv.first << ": n=" << h.count()
+           << " mean=" << h.mean() << " p50=" << h.percentile(50)
+           << " p90=" << h.percentile(90) << " p99=" << h.percentile(99)
+           << " max=" << h.max() << "\n";
+    }
+}
+
+} // namespace lynx::sim

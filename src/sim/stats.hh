@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Lightweight named statistics for models and benchmarks.
+ *
+ * A StatSet is a string-keyed bag of counters and histograms that a
+ * model exposes for its owner to read; benchmark harnesses print them
+ * as the rows of the paper's tables.
+ */
+
+#ifndef LYNX_SIM_STATS_HH
+#define LYNX_SIM_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+
+#include "histogram.hh"
+
+namespace lynx::sim {
+
+/** Monotonic event counter. */
+class Counter
+{
+  public:
+    /** Increase by @p n. */
+    void add(std::uint64_t n = 1) { value_ += n; }
+
+    /** @return current value. */
+    std::uint64_t value() const { return value_; }
+
+    /** Reset to zero. */
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** Named collection of counters and histograms. */
+class StatSet
+{
+  public:
+    /** @return the counter called @p name, creating it on first use. */
+    Counter &counter(const std::string &name) { return counters_[name]; }
+
+    /** @return the histogram called @p name, creating it on first use. */
+    Histogram &histogram(const std::string &name) { return histograms_[name]; }
+
+    /** @return counter value, or 0 when absent. */
+    std::uint64_t
+    counterValue(const std::string &name) const
+    {
+        auto it = counters_.find(name);
+        return it == counters_.end() ? 0 : it->second.value();
+    }
+
+    /** Reset every counter and histogram. */
+    void
+    reset()
+    {
+        for (auto &kv : counters_)
+            kv.second.reset();
+        for (auto &kv : histograms_)
+            kv.second.reset();
+    }
+
+    /** Dump a human-readable summary to @p os. */
+    void dump(std::ostream &os, const std::string &prefix = "") const;
+
+  private:
+    std::map<std::string, Counter> counters_;
+    std::map<std::string, Histogram> histograms_;
+};
+
+} // namespace lynx::sim
+
+#endif // LYNX_SIM_STATS_HH

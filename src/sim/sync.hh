@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Synchronization primitives for coroutine tasks: counting semaphore,
+ * countdown latch, and a level-triggered gate.
+ */
+
+#ifndef LYNX_SIM_SYNC_HH
+#define LYNX_SIM_SYNC_HH
+
+#include <cstddef>
+#include <deque>
+
+#include "simulator.hh"
+#include "task.hh"
+
+namespace lynx::sim {
+
+/**
+ * Counting semaphore with FIFO handoff. A released permit goes to the
+ * longest-waiting task, so acquisition order is fair and
+ * deterministic.
+ */
+class Semaphore
+{
+  public:
+    Semaphore(Simulator &sim, std::size_t initial)
+        : sim_(sim), count_(initial)
+    {}
+
+    Semaphore(const Semaphore &) = delete;
+    Semaphore &operator=(const Semaphore &) = delete;
+
+    /** @return currently available permits. */
+    std::size_t available() const { return count_; }
+
+    /** @return number of tasks suspended in acquire(). */
+    std::size_t waiters() const { return waiters_.size(); }
+
+    /** Awaiter returned by acquire(). */
+    struct AcquireAwaiter
+    {
+        Semaphore &sem;
+
+        bool
+        await_ready()
+        {
+            if (sem.count_ == 0)
+                return false;
+            --sem.count_;
+            return true;
+        }
+
+        template <SimPromise P>
+        void
+        await_suspend(std::coroutine_handle<P> h)
+        {
+            sem.waiters_.push_back(h);
+        }
+
+        void await_resume() {}
+    };
+
+    /** @return awaitable taking one permit, suspending if none left. */
+    AcquireAwaiter acquire() { return AcquireAwaiter{*this}; }
+
+    /** Non-blocking acquire. */
+    bool
+    tryAcquire()
+    {
+        if (count_ == 0)
+            return false;
+        --count_;
+        return true;
+    }
+
+    /** Return one permit, waking the longest waiter if any. */
+    void
+    release()
+    {
+        if (!waiters_.empty()) {
+            auto h = waiters_.front();
+            waiters_.pop_front();
+            // Permit is handed directly to the waiter; count stays 0.
+            sim_.scheduleIn(0, [h] { h.resume(); });
+            return;
+        }
+        ++count_;
+    }
+
+  private:
+    Simulator &sim_;
+    std::size_t count_;
+    std::deque<std::coroutine_handle<>> waiters_;
+};
+
+/**
+ * Single-use countdown latch: tasks block in wait() until the counter
+ * reaches zero; afterwards wait() completes immediately.
+ */
+class Latch
+{
+  public:
+    Latch(Simulator &sim, std::size_t count) : sim_(sim), count_(count) {}
+
+    Latch(const Latch &) = delete;
+    Latch &operator=(const Latch &) = delete;
+
+    /** @return remaining count. */
+    std::size_t count() const { return count_; }
+
+    /** Decrement; wakes all waiters when the count hits zero. */
+    void
+    countDown(std::size_t n = 1)
+    {
+        LYNX_ASSERT(count_ >= n, "latch counted below zero");
+        count_ -= n;
+        if (count_ == 0) {
+            for (auto h : waiters_)
+                sim_.scheduleIn(0, [h] { h.resume(); });
+            waiters_.clear();
+        }
+    }
+
+    struct WaitAwaiter
+    {
+        Latch &latch;
+        bool await_ready() const { return latch.count_ == 0; }
+        template <SimPromise P>
+        void await_suspend(std::coroutine_handle<P> h)
+        {
+            latch.waiters_.push_back(h);
+        }
+        void await_resume() const {}
+    };
+
+    /** @return awaitable that completes once the count reaches zero. */
+    WaitAwaiter wait() { return WaitAwaiter{*this}; }
+
+  private:
+    Simulator &sim_;
+    std::size_t count_;
+    std::deque<std::coroutine_handle<>> waiters_;
+};
+
+/**
+ * Level-triggered gate. While closed, waiters suspend; open() releases
+ * all of them and lets subsequent waits pass through until close() is
+ * called again. Useful for modelling doorbells and "data ready" flags.
+ */
+class Gate
+{
+  public:
+    explicit Gate(Simulator &sim, bool open = false)
+        : sim_(sim), open_(open)
+    {}
+
+    Gate(const Gate &) = delete;
+    Gate &operator=(const Gate &) = delete;
+
+    /** @return whether the gate is currently open. */
+    bool isOpen() const { return open_; }
+
+    /** Open the gate, waking every waiter. */
+    void
+    open()
+    {
+        if (open_)
+            return;
+        open_ = true;
+        for (auto h : waiters_)
+            sim_.scheduleIn(0, [h] { h.resume(); });
+        waiters_.clear();
+    }
+
+    /** Close the gate; subsequent waits suspend again. */
+    void close() { open_ = false; }
+
+    struct WaitAwaiter
+    {
+        Gate &gate;
+        bool await_ready() const { return gate.open_; }
+        template <SimPromise P>
+        void await_suspend(std::coroutine_handle<P> h)
+        {
+            gate.waiters_.push_back(h);
+        }
+        void await_resume() const {}
+    };
+
+    /** @return awaitable that completes while the gate is open. */
+    WaitAwaiter wait() { return WaitAwaiter{*this}; }
+
+  private:
+    Simulator &sim_;
+    bool open_;
+    std::deque<std::coroutine_handle<>> waiters_;
+};
+
+} // namespace lynx::sim
+
+#endif // LYNX_SIM_SYNC_HH

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Simulated-time primitives.
+ *
+ * The simulator counts time in integer nanosecond ticks. All model
+ * code expresses durations through the helpers below so that the
+ * underlying resolution can be changed in one place.
+ */
+
+#ifndef LYNX_SIM_TIME_HH
+#define LYNX_SIM_TIME_HH
+
+#include <cstdint>
+
+namespace lynx::sim {
+
+/** Simulated time, in nanoseconds since simulation start. */
+using Tick = std::uint64_t;
+
+/** A duration that never elapses; used as an "infinity" sentinel. */
+constexpr Tick maxTick = ~Tick(0);
+
+/** @return @p n nanoseconds expressed in ticks. */
+constexpr Tick
+nanoseconds(std::uint64_t n)
+{
+    return n;
+}
+
+/** @return @p n microseconds expressed in ticks. */
+constexpr Tick
+microseconds(std::uint64_t n)
+{
+    return n * 1000;
+}
+
+/** @return @p n milliseconds expressed in ticks. */
+constexpr Tick
+milliseconds(std::uint64_t n)
+{
+    return n * 1000 * 1000;
+}
+
+/** @return @p n seconds expressed in ticks. */
+constexpr Tick
+seconds(std::uint64_t n)
+{
+    return n * 1000 * 1000 * 1000;
+}
+
+/** @return tick count @p t converted to (fractional) microseconds. */
+constexpr double
+toMicroseconds(Tick t)
+{
+    return static_cast<double>(t) / 1000.0;
+}
+
+/** @return tick count @p t converted to (fractional) milliseconds. */
+constexpr double
+toMilliseconds(Tick t)
+{
+    return static_cast<double>(t) / 1e6;
+}
+
+/** @return tick count @p t converted to (fractional) seconds. */
+constexpr double
+toSeconds(Tick t)
+{
+    return static_cast<double>(t) / 1e9;
+}
+
+namespace literals {
+
+/** Nanosecond literal: 500_ns. */
+constexpr Tick operator""_ns(unsigned long long n) { return nanoseconds(n); }
+/** Microsecond literal: 30_us. */
+constexpr Tick operator""_us(unsigned long long n) { return microseconds(n); }
+/** Millisecond literal: 2_ms. */
+constexpr Tick operator""_ms(unsigned long long n) { return milliseconds(n); }
+/** Second literal: 20_s. */
+constexpr Tick operator""_s(unsigned long long n) { return seconds(n); }
+
+} // namespace literals
+
+} // namespace lynx::sim
+
+#endif // LYNX_SIM_TIME_HH

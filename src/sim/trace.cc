@@ -1,0 +1,88 @@
+#include "trace.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+#include <sstream>
+
+namespace lynx::sim {
+
+namespace {
+
+struct State
+{
+    std::set<std::string> categories;
+    bool all = false;
+
+    State()
+    {
+        const char *env = std::getenv("LYNX_TRACE");
+        if (!env)
+            return;
+        std::stringstream ss(env);
+        std::string item;
+        while (std::getline(ss, item, ',')) {
+            if (item == "all")
+                all = true;
+            else if (!item.empty())
+                categories.insert(item);
+        }
+    }
+};
+
+State &
+state()
+{
+    static State s;
+    return s;
+}
+
+State
+envOnly()
+{
+    return State();
+}
+
+} // namespace
+
+bool
+TraceControl::enabled(const std::string &category)
+{
+    const State &s = state();
+    return s.all || s.categories.contains(category);
+}
+
+void
+TraceControl::enable(const std::string &category)
+{
+    if (category == "all")
+        state().all = true;
+    else
+        state().categories.insert(category);
+}
+
+void
+TraceControl::disable(const std::string &category)
+{
+    if (category == "all")
+        state().all = false;
+    else
+        state().categories.erase(category);
+}
+
+void
+TraceControl::reset()
+{
+    state() = envOnly();
+}
+
+void
+TraceControl::emit(Tick now, const std::string &category,
+                   const std::string &message)
+{
+    std::fprintf(stderr, "[%10lluns] %s: %s\n",
+                 static_cast<unsigned long long>(now), category.c_str(),
+                 message.c_str());
+}
+
+} // namespace lynx::sim

@@ -1,0 +1,175 @@
+#include "datagen.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lynx::workload {
+
+namespace {
+
+constexpr int mnistDim = 28;
+constexpr int faceDim = 32;
+
+/** Draw an anti-aliased disc stroke into @p img. */
+void
+drawArc(std::vector<std::uint8_t> &img, int dim, double cx, double cy,
+        double radius, double a0, double a1, double thickness)
+{
+    for (int y = 0; y < dim; ++y) {
+        for (int x = 0; x < dim; ++x) {
+            double dx = x - cx, dy = y - cy;
+            double r = std::sqrt(dx * dx + dy * dy);
+            double ang = std::atan2(dy, dx);
+            if (ang < 0)
+                ang += 2 * M_PI;
+            bool inAngle = a0 <= a1 ? (ang >= a0 && ang <= a1)
+                                    : (ang >= a0 || ang <= a1);
+            double d = std::abs(r - radius);
+            if (inAngle && d < thickness) {
+                double v = 255.0 * (1.0 - d / thickness);
+                auto &px = img[static_cast<std::size_t>(y) * dim + x];
+                if (v > px)
+                    px = static_cast<std::uint8_t>(v);
+            }
+        }
+    }
+}
+
+/** Draw a line segment stroke. */
+void
+drawLine(std::vector<std::uint8_t> &img, int dim, double x0, double y0,
+         double x1, double y1, double thickness)
+{
+    double len = std::hypot(x1 - x0, y1 - y0);
+    int steps = static_cast<int>(len * 4) + 1;
+    for (int i = 0; i <= steps; ++i) {
+        double t = static_cast<double>(i) / steps;
+        double px = x0 + t * (x1 - x0);
+        double py = y0 + t * (y1 - y0);
+        int xlo = std::max(0, static_cast<int>(px - thickness - 1));
+        int xhi = std::min(dim - 1, static_cast<int>(px + thickness + 1));
+        int ylo = std::max(0, static_cast<int>(py - thickness - 1));
+        int yhi = std::min(dim - 1, static_cast<int>(py + thickness + 1));
+        for (int y = ylo; y <= yhi; ++y) {
+            for (int x = xlo; x <= xhi; ++x) {
+                double d = std::hypot(x - px, y - py);
+                if (d < thickness) {
+                    double v = 255.0 * (1.0 - d / thickness);
+                    auto &q = img[static_cast<std::size_t>(y) * dim + x];
+                    if (v > q)
+                        q = static_cast<std::uint8_t>(v);
+                }
+            }
+        }
+    }
+}
+
+} // namespace
+
+std::vector<std::uint8_t>
+synthMnist(int digit, std::uint64_t variant)
+{
+    sim::Rng rng(0x3a15 + static_cast<std::uint64_t>(digit) * 977 +
+                 variant * 131071);
+    std::vector<std::uint8_t> img(mnistDim * mnistDim, 0);
+    auto j = [&] { return (rng.uniform() - 0.5) * 2.0; }; // jitter ±1
+
+    const double cx = 14 + j(), cy = 14 + j();
+    const double th = 1.6 + rng.uniform() * 0.6;
+    switch (((digit % 10) + 10) % 10) {
+      case 0:
+        drawArc(img, mnistDim, cx, cy, 8 + j(), 0, 2 * M_PI, th);
+        break;
+      case 1:
+        drawLine(img, mnistDim, cx + j(), 4, cx + j(), 24, th);
+        break;
+      case 2:
+        drawArc(img, mnistDim, cx, cy - 4, 5, M_PI, 2 * M_PI, th);
+        drawLine(img, mnistDim, cx + 5, cy - 3, cx - 6, cy + 9, th);
+        drawLine(img, mnistDim, cx - 6, cy + 9, cx + 6, cy + 9, th);
+        break;
+      case 3:
+        drawArc(img, mnistDim, cx, cy - 4, 4.5, M_PI * 1.1, M_PI * 0.4, th);
+        drawArc(img, mnistDim, cx, cy + 5, 4.5, M_PI * 1.5, M_PI * 0.9, th);
+        break;
+      case 4:
+        drawLine(img, mnistDim, cx - 5, 5, cx - 6, cy + 1, th);
+        drawLine(img, mnistDim, cx - 6, cy + 1, cx + 6, cy + 1, th);
+        drawLine(img, mnistDim, cx + 3, 5, cx + 3, 24, th);
+        break;
+      case 5:
+        drawLine(img, mnistDim, cx + 5, 5, cx - 5, 5, th);
+        drawLine(img, mnistDim, cx - 5, 5, cx - 5, cy - 1, th);
+        drawArc(img, mnistDim, cx - 1, cy + 4, 5.5, M_PI * 1.4,
+                M_PI * 0.8, th);
+        break;
+      case 6:
+        drawArc(img, mnistDim, cx, cy + 4, 5, 0, 2 * M_PI, th);
+        drawArc(img, mnistDim, cx + 2, cy - 4, 8, M_PI * 0.6,
+                M_PI * 1.2, th);
+        break;
+      case 7:
+        drawLine(img, mnistDim, cx - 6, 6, cx + 6, 6, th);
+        drawLine(img, mnistDim, cx + 6, 6, cx - 2, 24, th);
+        break;
+      case 8:
+        drawArc(img, mnistDim, cx, cy - 4, 4, 0, 2 * M_PI, th);
+        drawArc(img, mnistDim, cx, cy + 5, 5, 0, 2 * M_PI, th);
+        break;
+      default: // 9
+        drawArc(img, mnistDim, cx, cy - 4, 5, 0, 2 * M_PI, th);
+        drawArc(img, mnistDim, cx - 2, cy + 4, 8, M_PI * 1.6,
+                M_PI * 0.2, th);
+        break;
+    }
+    // Sensor noise.
+    for (auto &px : img) {
+        int v = px + static_cast<int>(rng.below(12)) - 6;
+        px = static_cast<std::uint8_t>(std::clamp(v, 0, 255));
+    }
+    return img;
+}
+
+std::vector<std::uint8_t>
+synthFace(std::uint32_t personId, std::uint64_t variant)
+{
+    // Person identity fixes the facial geometry; the variant only
+    // adds noise/illumination so LBP keeps same-person images close.
+    sim::Rng geo(0xface + static_cast<std::uint64_t>(personId) * 2654435761u);
+    sim::Rng var(variant * 40503 + personId);
+    std::vector<std::uint8_t> img(faceDim * faceDim, 0);
+
+    const double headR = 11 + geo.uniform() * 3;
+    const double eyeDx = 4 + geo.uniform() * 2.5;
+    const double eyeY = 12 + geo.uniform() * 3;
+    const double mouthY = 22 + geo.uniform() * 3;
+    const double mouthW = 3 + geo.uniform() * 4;
+    const double noseL = 3 + geo.uniform() * 3;
+    const double illum = 0.88 + var.uniform() * 0.12;
+
+    drawArc(img, faceDim, 16, 16, headR, 0, 2 * M_PI, 2.0);
+    drawArc(img, faceDim, 16 - eyeDx, eyeY, 1.6, 0, 2 * M_PI, 1.4);
+    drawArc(img, faceDim, 16 + eyeDx, eyeY, 1.6, 0, 2 * M_PI, 1.4);
+    drawLine(img, faceDim, 16, eyeY + 2, 16, eyeY + 2 + noseL, 1.3);
+    drawLine(img, faceDim, 16 - mouthW, mouthY, 16 + mouthW, mouthY, 1.4);
+
+    for (auto &px : img) {
+        int v = static_cast<int>(px * illum) +
+                static_cast<int>(var.below(6)) - 3;
+        px = static_cast<std::uint8_t>(std::clamp(v, 0, 255));
+    }
+    return img;
+}
+
+std::string
+faceLabel(std::uint32_t personId)
+{
+    // 12-byte deterministic "random" label (§6.4).
+    sim::Rng rng(0x1abe1 + personId);
+    std::string s;
+    for (int i = 0; i < 12; ++i)
+        s.push_back(static_cast<char>('a' + rng.below(26)));
+    return s;
+}
+
+} // namespace lynx::workload

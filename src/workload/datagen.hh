@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Synthetic dataset generators.
+ *
+ * The paper evaluates with MNIST (28×28 grayscale digits) and the
+ * color FERET face database (resized to 32×32). Neither dataset is
+ * redistributable here, and none of the reproduced measurements
+ * depend on pixel values — only on image dimensions and on responses
+ * being checkable. These generators produce deterministic images of
+ * the right shapes: digit-like stroke patterns for MNIST and
+ * face-like blob patterns for FERET (see DESIGN.md substitutions).
+ */
+
+#ifndef LYNX_WORKLOAD_DATAGEN_HH
+#define LYNX_WORKLOAD_DATAGEN_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/random.hh"
+
+namespace lynx::workload {
+
+/** A 28×28 grayscale image resembling handwritten digit @p digit,
+ *  with stroke jitter driven by @p variant. */
+std::vector<std::uint8_t> synthMnist(int digit, std::uint64_t variant);
+
+/** A 32×32 grayscale face-like image for person @p personId;
+ *  @p variant jitters pose/illumination. The same person with
+ *  different variants stays LBP-similar; different persons differ. */
+std::vector<std::uint8_t> synthFace(std::uint32_t personId,
+                                    std::uint64_t variant);
+
+/** The 12-byte random label strings used as FERET keys (§6.4). */
+std::string faceLabel(std::uint32_t personId);
+
+} // namespace lynx::workload
+
+#endif // LYNX_WORKLOAD_DATAGEN_HH

@@ -1,0 +1,124 @@
+#include "loadgen.hh"
+
+namespace lynx::workload {
+
+sim::Co<std::optional<net::Message>>
+recvTimeout(sim::Simulator &sim, net::Endpoint &ep, sim::Tick timeout,
+            sim::Tick)
+{
+    sim::Tick deadline = sim.now() + timeout;
+    for (;;) {
+        if (auto m = ep.tryRecv())
+            co_return m;
+        if (sim.now() >= deadline)
+            co_return std::nullopt;
+        // Event-driven wait: next arrival or the deadline.
+        co_await ep.waitArrival(deadline - sim.now());
+    }
+}
+
+LoadGen::LoadGen(sim::Simulator &sim, LoadGenConfig cfg)
+    : sim_(sim), cfg_(std::move(cfg)), rng_(cfg_.seed)
+{
+    LYNX_FATAL_IF(!cfg_.nic, "load generator needs a client NIC");
+}
+
+void
+LoadGen::start()
+{
+    if (cfg_.openRate > 0.0) {
+        net::Endpoint &ep = cfg_.nic->bind(cfg_.proto, cfg_.basePort);
+        sim::spawn(sim_, openReceiver(ep));
+        sim::spawn(sim_, openSender());
+    } else {
+        for (int i = 0; i < cfg_.concurrency; ++i)
+            sim::spawn(sim_, closedWorker(i));
+    }
+}
+
+void
+LoadGen::recordResponse(const net::Message &resp)
+{
+    if (cfg_.validate && !cfg_.validate(resp))
+        ++failures_;
+    if (inWindow(sim_.now()) && inWindow(resp.sentAt)) {
+        ++completed_;
+        latency_.record(sim_.now() - resp.sentAt);
+    }
+}
+
+sim::Task
+LoadGen::closedWorker(int idx)
+{
+    std::uint16_t port =
+        static_cast<std::uint16_t>(cfg_.basePort + idx);
+    net::Endpoint &ep = cfg_.nic->bind(cfg_.proto, port);
+    sim::Rng rng(cfg_.seed * 1315423911u + idx);
+
+    // Stagger worker start-up so closed-loop clients do not fire in
+    // lockstep bursts.
+    if (cfg_.thinkTime)
+        co_await sim::sleep(
+            static_cast<sim::Tick>(rng.exponential(
+                static_cast<double>(cfg_.thinkTime))));
+
+    while (issuing()) {
+        std::uint64_t seq = nextSeq_++;
+        net::Message m;
+        m.src = {cfg_.nic->node(), port};
+        m.dst = cfg_.target;
+        m.proto = cfg_.proto;
+        m.payload = cfg_.makeRequest(seq, rng);
+        m.seq = seq;
+        m.sentAt = sim_.now();
+        if (inWindow(sim_.now()))
+            ++sent_;
+        co_await cfg_.nic->send(std::move(m));
+
+        auto resp = co_await recvTimeout(sim_, ep, cfg_.requestTimeout);
+        if (!resp) {
+            ++timeouts_;
+            continue;
+        }
+        if (resp->seq != seq)
+            sim::warn("loadgen: out-of-order response (want ", seq,
+                      " got ", resp->seq, ")");
+        recordResponse(*resp);
+        if (cfg_.thinkTime) {
+            co_await sim::sleep(static_cast<sim::Tick>(
+                rng.exponential(static_cast<double>(cfg_.thinkTime))));
+        }
+    }
+}
+
+sim::Task
+LoadGen::openSender()
+{
+    double meanGapNs = 1e9 / cfg_.openRate;
+    while (issuing()) {
+        std::uint64_t seq = nextSeq_++;
+        net::Message m;
+        m.src = {cfg_.nic->node(), cfg_.basePort};
+        m.dst = cfg_.target;
+        m.proto = cfg_.proto;
+        m.payload = cfg_.makeRequest(seq, rng_);
+        m.seq = seq;
+        m.sentAt = sim_.now();
+        if (inWindow(sim_.now()))
+            ++sent_;
+        co_await cfg_.nic->send(std::move(m));
+        co_await sim::sleep(
+            static_cast<sim::Tick>(rng_.exponential(meanGapNs)));
+    }
+}
+
+sim::Task
+LoadGen::openReceiver(net::Endpoint &ep)
+{
+    for (;;) {
+        net::Message resp = co_await ep.recv();
+        recordResponse(resp);
+    }
+}
+
+} // namespace lynx::workload

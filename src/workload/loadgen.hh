@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Load generation and latency measurement (the role sockperf plays
+ * in the paper, §6: "a network load generator optimized for Mellanox
+ * hardware ... each experiment 5 times, 20 seconds, with 2 seconds
+ * warmup").
+ *
+ * Two modes:
+ *  - closed loop: N workers, each with one outstanding request —
+ *    measures unloaded/matched-load latency and natural throughput;
+ *  - open loop: Poisson arrivals at a target rate — measures latency
+ *    under a fixed offered load (and loss under overload).
+ *
+ * Latency is computed from the request timestamp echoed back in the
+ * response (Message::sentAt), recorded into an HDR histogram inside
+ * the measurement window only.
+ */
+
+#ifndef LYNX_WORKLOAD_LOADGEN_HH
+#define LYNX_WORKLOAD_LOADGEN_HH
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/message.hh"
+#include "net/nic.hh"
+#include "sim/co.hh"
+#include "sim/histogram.hh"
+#include "sim/random.hh"
+#include "sim/simulator.hh"
+#include "sim/stats.hh"
+#include "sim/task.hh"
+#include "sim/time.hh"
+
+namespace lynx::workload {
+
+/** Await a message with a deadline; nullopt on timeout. */
+sim::Co<std::optional<net::Message>>
+recvTimeout(sim::Simulator &sim, net::Endpoint &ep, sim::Tick timeout,
+            sim::Tick pollStep = sim::microseconds(20));
+
+/** Configuration of one load generator. */
+struct LoadGenConfig
+{
+    /** The client machine's NIC. */
+    net::Nic *nic = nullptr;
+
+    /** Service address under test. */
+    net::Address target;
+    net::Protocol proto = net::Protocol::Udp;
+
+    /** Closed-loop worker count (ignored in open-loop mode). */
+    int concurrency = 1;
+
+    /** >0: open-loop Poisson offered load, requests/second. */
+    double openRate = 0.0;
+
+    /** Measurement window: samples in [warmup, warmup+duration). */
+    sim::Tick warmup = sim::milliseconds(20);
+    sim::Tick duration = sim::milliseconds(200);
+
+    /** Stop issuing after the window closes (plus drain time). */
+    sim::Tick drain = sim::milliseconds(5);
+
+    /** Request payload builder. */
+    std::function<std::vector<std::uint8_t>(std::uint64_t seq, sim::Rng &)>
+        makeRequest = [](std::uint64_t, sim::Rng &) {
+            return std::vector<std::uint8_t>(64, 0x42);
+        };
+
+    /** Optional response checker (counts failures). */
+    std::function<bool(const net::Message &resp)> validate;
+
+    /** First client port; worker i uses basePort + i. */
+    std::uint16_t basePort = 40000;
+
+    /** Closed-loop per-request timeout (lost-datagram recovery). */
+    sim::Tick requestTimeout = sim::milliseconds(20);
+
+    /** Mean exponential think time between closed-loop requests
+     *  (0 = none). Decorrelates workers for latency measurements. */
+    sim::Tick thinkTime = 0;
+
+    std::uint64_t seed = 1;
+};
+
+/** A load generator bound to one client NIC. */
+class LoadGen
+{
+  public:
+    LoadGen(sim::Simulator &sim, LoadGenConfig cfg);
+
+    LoadGen(const LoadGen &) = delete;
+    LoadGen &operator=(const LoadGen &) = delete;
+
+    /** Spawn the generator tasks. */
+    void start();
+
+    /** @return when the measurement window closes (run the simulator
+     *  at least this far). */
+    sim::Tick
+    windowEnd() const
+    {
+        return cfg_.warmup + cfg_.duration + cfg_.drain;
+    }
+
+    /** @return response latency histogram (ns), window-only. */
+    const sim::Histogram &latency() const { return latency_; }
+
+    /** @return responses completed inside the window. */
+    std::uint64_t completed() const { return completed_; }
+
+    /** @return requests sent inside the window. */
+    std::uint64_t sent() const { return sent_; }
+
+    /** @return responses that failed validation. */
+    std::uint64_t validationFailures() const { return failures_; }
+
+    /** @return request timeouts observed (closed loop only). */
+    std::uint64_t timeouts() const { return timeouts_; }
+
+    /** @return completed-per-second over the window. */
+    double
+    throughputRps() const
+    {
+        return static_cast<double>(completed_) /
+               sim::toSeconds(cfg_.duration);
+    }
+
+  private:
+    bool
+    inWindow(sim::Tick t) const
+    {
+        return t >= cfg_.warmup && t < cfg_.warmup + cfg_.duration;
+    }
+
+    bool issuing() const { return sim_.now() < cfg_.warmup + cfg_.duration; }
+
+    void recordResponse(const net::Message &resp);
+
+    sim::Task closedWorker(int idx);
+    sim::Task openSender();
+    sim::Task openReceiver(net::Endpoint &ep);
+
+    sim::Simulator &sim_;
+    LoadGenConfig cfg_;
+    sim::Rng rng_;
+    std::uint64_t nextSeq_ = 0;
+
+    sim::Histogram latency_;
+    std::uint64_t completed_ = 0;
+    std::uint64_t sent_ = 0;
+    std::uint64_t failures_ = 0;
+    std::uint64_t timeouts_ = 0;
+};
+
+} // namespace lynx::workload
+
+#endif // LYNX_WORKLOAD_LOADGEN_HH

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Tests for the Intel VCA model and SGX enclave wrapper, including
+ * the end-to-end Lynx-on-VCA integration (paper §5.4: the 4-line
+ * integration and the host-memory mqueue workaround).
+ */
+
+#include <gtest/gtest.h>
+
+#include "accel/vca.hh"
+#include "apps/aes.hh"
+#include "lynx/runtime.hh"
+#include "net/network.hh"
+#include "snic/bluefield.hh"
+#include "sim/simulator.hh"
+#include "sim/task.hh"
+
+using namespace lynx;
+using namespace lynx::sim::literals;
+
+TEST(Vca, HasThreeIndependentProcessors)
+{
+    sim::Simulator s;
+    accel::Vca vca(s, "vca0");
+    EXPECT_EQ(vca.processorCount(), 3u);
+    EXPECT_EQ(vca.processor(0).name(), "vca0.e3-0");
+    EXPECT_EQ(vca.processor(2).name(), "vca0.e3-2");
+    EXPECT_DOUBLE_EQ(vca.processor(1).speedFactor(),
+                     vca.config().coreSlowdown);
+    EXPECT_EQ(vca.hostWindow().size(), vca.config().windowBytes);
+}
+
+TEST(Vca, ProcessorsRunConcurrently)
+{
+    sim::Simulator s;
+    accel::Vca vca(s, "vca0");
+    int done = 0;
+    auto worker = [&](sim::Core &c) -> sim::Task {
+        co_await c.exec(100_us);
+        ++done;
+    };
+    for (std::size_t i = 0; i < 3; ++i)
+        sim::spawn(s, worker(vca.processor(i)));
+    s.run();
+    EXPECT_EQ(done, 3);
+    // Independent machines: no serialization across processors.
+    EXPECT_EQ(s.now(), static_cast<sim::Tick>(
+                           100_us * vca.config().coreSlowdown));
+}
+
+TEST(SgxEnclave, ChargesTransitionAndComputesForReal)
+{
+    sim::Simulator s;
+    accel::VcaConfig cfg;
+    cfg.coreSlowdown = 1.0; // exact-time assertion below
+    cfg.sgxTransitionCost = 4_us;
+    accel::Vca vca(s, "vca0", cfg);
+    accel::SgxEnclave enclave(
+        vca, 2_us, [](std::span<const std::uint8_t> in) {
+            std::vector<std::uint8_t> out(in.begin(), in.end());
+            for (auto &b : out)
+                b = static_cast<std::uint8_t>(b ^ 0xff);
+            return out;
+        });
+
+    std::vector<std::uint8_t> got;
+    sim::Tick took = 0;
+    auto body = [&]() -> sim::Task {
+        std::vector<std::uint8_t> in{0x0f, 0xf0};
+        sim::Tick t0 = s.now();
+        got = co_await enclave.call(vca.processor(0), in);
+        took = s.now() - t0;
+    };
+    sim::spawn(s, body());
+    s.run();
+    EXPECT_EQ(got, (std::vector<std::uint8_t>{0xf0, 0x0f}));
+    EXPECT_EQ(took, 6_us); // transition 4 + compute 2
+}
+
+TEST(SgxEnclave, AesServerRoundTripsThroughLynx)
+{
+    // The §6.2 secure server end-to-end: the client's AES-encrypted
+    // value comes back encrypted and decrypts to 3x the original.
+    sim::Simulator s;
+    net::Network nw(s);
+    snic::Bluefield bf(s, nw, "bf0");
+    auto &clientNic = nw.addNic("client");
+    accel::Vca vca(s, "vca0");
+    const apps::Aes128::Key key = {9, 9, 9, 9, 9, 9, 9, 9,
+                                   9, 9, 9, 9, 9, 9, 9, 9};
+    apps::Aes128 aes(key);
+    accel::SgxEnclave enclave(
+        vca, 2_us, [&aes](std::span<const std::uint8_t> in) {
+            apps::Aes128::Block blk{};
+            std::copy(in.begin(), in.end(), blk.begin());
+            auto plain = aes.decrypt(blk);
+            std::uint32_t v = plain[0] |
+                              (static_cast<std::uint32_t>(plain[1])
+                               << 8);
+            v *= 3;
+            apps::Aes128::Block out{};
+            out[0] = static_cast<std::uint8_t>(v);
+            out[1] = static_cast<std::uint8_t>(v >> 8);
+            out[2] = static_cast<std::uint8_t>(v >> 16);
+            auto enc = aes.encrypt(out);
+            return std::vector<std::uint8_t>(enc.begin(), enc.end());
+        });
+
+    core::RuntimeConfig cfg = bf.lynxRuntimeConfig();
+    cfg.gio.localLatency = vca.config().queueAccessLatency;
+    core::Runtime rt(s, cfg);
+    auto &accel = rt.addAccelerator("vca0", vca.hostWindow(),
+                                    rdma::RdmaPathModel{});
+    core::ServiceConfig scfg;
+    scfg.port = 7200;
+    auto &svc = rt.addService(scfg);
+    auto queues = rt.makeAccelQueues(svc, accel);
+    auto worker = [&]() -> sim::Task {
+        for (;;) {
+            core::GioMessage m = co_await queues[0]->recv();
+            auto resp = co_await enclave.call(vca.processor(0),
+                                              m.payload);
+            co_await queues[0]->send(m.tag, resp);
+        }
+    };
+    sim::spawn(s, worker());
+    rt.start();
+
+    auto &ep = clientNic.bind(net::Protocol::Udp, 40000);
+    std::uint32_t decrypted = 0;
+    auto client = [&]() -> sim::Task {
+        apps::Aes128::Block plain{};
+        plain[0] = 21; // expect 63 back
+        auto enc = aes.encrypt(plain);
+        net::Message m;
+        m.src = {clientNic.node(), 40000};
+        m.dst = {bf.node(), 7200};
+        m.proto = net::Protocol::Udp;
+        m.payload.assign(enc.begin(), enc.end());
+        co_await clientNic.send(std::move(m));
+        net::Message r = co_await ep.recv();
+        apps::Aes128::Block blk{};
+        std::copy(r.payload.begin(), r.payload.end(), blk.begin());
+        auto dec = aes.decrypt(blk);
+        decrypted = dec[0] | (static_cast<std::uint32_t>(dec[1]) << 8);
+    };
+    sim::spawn(s, client());
+    s.run();
+    EXPECT_EQ(decrypted, 63u);
+}

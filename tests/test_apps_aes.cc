@@ -1,0 +1,91 @@
+/**
+ * @file
+ * AES-128 tests, including the FIPS-197 Appendix B/C vectors.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/aes.hh"
+#include "sim/random.hh"
+
+using lynx::apps::Aes128;
+
+namespace {
+
+Aes128::Block
+block(std::initializer_list<int> xs)
+{
+    Aes128::Block b{};
+    int i = 0;
+    for (int x : xs)
+        b[static_cast<std::size_t>(i++)] = static_cast<std::uint8_t>(x);
+    return b;
+}
+
+} // namespace
+
+TEST(Aes128, Fips197AppendixBVector)
+{
+    // FIPS-197 Appendix B: key 2b7e1516..., plaintext 3243f6a8...
+    Aes128 aes(block({0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+                      0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c}));
+    auto cipher = aes.encrypt(
+        block({0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d, 0x31,
+               0x31, 0x98, 0xa2, 0xe0, 0x37, 0x07, 0x34}));
+    auto expect = block({0x39, 0x25, 0x84, 0x1d, 0x02, 0xdc, 0x09, 0xfb,
+                         0xdc, 0x11, 0x85, 0x97, 0x19, 0x6a, 0x0b, 0x32});
+    EXPECT_EQ(cipher, expect);
+}
+
+TEST(Aes128, Fips197AppendixCVector)
+{
+    // FIPS-197 Appendix C.1: key 000102...0f, plaintext 001122...ff.
+    Aes128 aes(block({0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07,
+                      0x08, 0x09, 0x0a, 0x0b, 0x0c, 0x0d, 0x0e, 0x0f}));
+    auto cipher = aes.encrypt(
+        block({0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88,
+               0x99, 0xaa, 0xbb, 0xcc, 0xdd, 0xee, 0xff}));
+    auto expect = block({0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30,
+                         0xd8, 0xcd, 0xb7, 0x80, 0x70, 0xb4, 0xc5, 0x5a});
+    EXPECT_EQ(cipher, expect);
+}
+
+TEST(Aes128, DecryptInvertsEncrypt)
+{
+    lynx::sim::Rng rng(7);
+    Aes128::Key key{};
+    for (auto &b : key)
+        b = static_cast<std::uint8_t>(rng.below(256));
+    Aes128 aes(key);
+    for (int trial = 0; trial < 50; ++trial) {
+        Aes128::Block plain{};
+        for (auto &b : plain)
+            b = static_cast<std::uint8_t>(rng.below(256));
+        EXPECT_EQ(aes.decrypt(aes.encrypt(plain)), plain);
+    }
+}
+
+TEST(Aes128, EncryptChangesData)
+{
+    Aes128 aes(block({1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14,
+                      15, 16}));
+    Aes128::Block plain{};
+    auto cipher = aes.encrypt(plain);
+    EXPECT_NE(cipher, plain);
+}
+
+TEST(Aes128, CtrRoundTripsArbitraryLengths)
+{
+    Aes128 aes(block({9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9}));
+    Aes128::Block iv = block({1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0,
+                              0, 0});
+    for (std::size_t n : {1u, 4u, 15u, 16u, 17u, 100u}) {
+        std::vector<std::uint8_t> data(n);
+        for (std::size_t i = 0; i < n; ++i)
+            data[i] = static_cast<std::uint8_t>(i * 7 + 1);
+        auto enc = aes.ctr(data, iv);
+        EXPECT_NE(enc, data);
+        auto dec = aes.ctr(enc, iv);
+        EXPECT_EQ(dec, data);
+    }
+}

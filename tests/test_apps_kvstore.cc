@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Tests for the memcached-like KV store: storage semantics, wire
+ * codec (including malformed input), and the networked server loop.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/kvstore.hh"
+#include "lynx/calibration.hh"
+#include "net/network.hh"
+#include "sim/processor.hh"
+#include "sim/simulator.hh"
+#include "sim/task.hh"
+#include "workload/loadgen.hh"
+
+using namespace lynx;
+using namespace lynx::apps;
+using namespace lynx::sim::literals;
+
+TEST(KvStore, SetGetEraseSemantics)
+{
+    KvStore kv;
+    EXPECT_FALSE(kv.get("a").has_value());
+    kv.set("a", {1, 2, 3});
+    ASSERT_TRUE(kv.get("a").has_value());
+    EXPECT_EQ(*kv.get("a"), (std::vector<std::uint8_t>{1, 2, 3}));
+    kv.set("a", {9});
+    EXPECT_EQ(*kv.get("a"), (std::vector<std::uint8_t>{9}));
+    EXPECT_TRUE(kv.erase("a"));
+    EXPECT_FALSE(kv.erase("a"));
+    EXPECT_FALSE(kv.get("a").has_value());
+}
+
+TEST(KvCodec, GetRoundTrip)
+{
+    auto buf = kvEncodeGet("hello");
+    auto req = kvDecodeRequest(buf);
+    ASSERT_TRUE(req.has_value());
+    EXPECT_EQ(req->op, KvOp::Get);
+    EXPECT_EQ(req->key, "hello");
+    EXPECT_TRUE(req->value.empty());
+}
+
+TEST(KvCodec, SetRoundTrip)
+{
+    std::vector<std::uint8_t> val{5, 6, 7, 8};
+    auto buf = kvEncodeSet("k1", val);
+    auto req = kvDecodeRequest(buf);
+    ASSERT_TRUE(req.has_value());
+    EXPECT_EQ(req->op, KvOp::Set);
+    EXPECT_EQ(req->key, "k1");
+    EXPECT_EQ(req->value, val);
+}
+
+TEST(KvCodec, MalformedInputsRejected)
+{
+    EXPECT_FALSE(kvDecodeRequest({}).has_value());
+    std::vector<std::uint8_t> tooShort{0, 1};
+    EXPECT_FALSE(kvDecodeRequest(tooShort).has_value());
+    std::vector<std::uint8_t> badOp{7, 0, 0, 0, 0, 0, 0};
+    EXPECT_FALSE(kvDecodeRequest(badOp).has_value());
+    // Key length exceeding the buffer.
+    std::vector<std::uint8_t> badKey{0, 0xff, 0xff, 0, 0, 0, 0};
+    EXPECT_FALSE(kvDecodeRequest(badKey).has_value());
+    // Truncated value.
+    auto buf = kvEncodeSet("k", std::vector<std::uint8_t>(10, 1));
+    buf.resize(buf.size() - 5);
+    EXPECT_FALSE(kvDecodeRequest(buf).has_value());
+}
+
+TEST(KvCodec, ResponseRoundTrip)
+{
+    std::vector<std::uint8_t> val{1, 2};
+    auto buf = kvEncodeResponse(KvStatus::Ok, val);
+    auto resp = kvDecodeResponse(buf);
+    EXPECT_EQ(resp.status, KvStatus::Ok);
+    EXPECT_EQ(resp.value, val);
+
+    auto miss = kvDecodeResponse(kvEncodeResponse(KvStatus::Miss, {}));
+    EXPECT_EQ(miss.status, KvStatus::Miss);
+    EXPECT_TRUE(miss.value.empty());
+
+    KvResponse broken = kvDecodeResponse(std::vector<std::uint8_t>{1});
+    EXPECT_EQ(broken.status, KvStatus::Malformed);
+}
+
+TEST(KvApply, GetMissAndHit)
+{
+    KvStore kv;
+    KvRequest get{KvOp::Get, "x", {}};
+    auto miss = kvDecodeResponse(kvApply(kv, get));
+    EXPECT_EQ(miss.status, KvStatus::Miss);
+
+    KvRequest set{KvOp::Set, "x", {42}};
+    auto ok = kvDecodeResponse(kvApply(kv, set));
+    EXPECT_EQ(ok.status, KvStatus::Ok);
+
+    auto hit = kvDecodeResponse(kvApply(kv, get));
+    EXPECT_EQ(hit.status, KvStatus::Ok);
+    EXPECT_EQ(hit.value, (std::vector<std::uint8_t>{42}));
+}
+
+TEST(KvServer, ServesGetSetOverNetwork)
+{
+    sim::Simulator s;
+    net::Network nw(s);
+    auto &serverNic = nw.addNic("kv-server");
+    auto &clientNic = nw.addNic("client");
+    sim::CorePool cores(s, "xeon", 2);
+
+    KvStore kv;
+    KvServerConfig cfg;
+    cfg.nic = &serverNic;
+    cfg.proto = net::Protocol::Tcp;
+    cfg.stack = calibration::vmaXeon();
+    cfg.cores = {&cores[0], &cores[1]};
+    cfg.opCost = calibration::memcachedOpCostXeon;
+    KvServer server(s, kv, cfg);
+    server.start();
+
+    auto &cliEp = clientNic.bind(net::Protocol::Tcp, 50000);
+    std::vector<std::uint8_t> fetched;
+    auto client = [&]() -> sim::Task {
+        auto sendReq = [&](std::vector<std::uint8_t> body)
+            -> sim::Co<net::Message> {
+            net::Message m;
+            m.src = {clientNic.node(), 50000};
+            m.dst = {serverNic.node(), 11211};
+            m.proto = net::Protocol::Tcp;
+            m.payload = std::move(body);
+            co_await clientNic.send(std::move(m));
+            net::Message r = co_await cliEp.recv();
+            co_return r;
+        };
+        std::vector<std::uint8_t> img(128, 0x3c);
+        auto setResp = co_await sendReq(kvEncodeSet("face:42", img));
+        EXPECT_EQ(kvDecodeResponse(setResp.payload).status, KvStatus::Ok);
+        auto getResp = co_await sendReq(kvEncodeGet("face:42"));
+        auto decoded = kvDecodeResponse(getResp.payload);
+        EXPECT_EQ(decoded.status, KvStatus::Ok);
+        fetched = decoded.value;
+    };
+    sim::spawn(s, client());
+    s.run();
+
+    EXPECT_EQ(fetched, std::vector<std::uint8_t>(128, 0x3c));
+    EXPECT_EQ(server.stats().counterValue("gets"), 1u);
+    EXPECT_EQ(server.stats().counterValue("sets"), 1u);
+    EXPECT_EQ(kv.size(), 1u);
+}
+
+TEST(KvServer, ThroughputScalesWithCores)
+{
+    // Fig. 9's premise: "memcached ... scales linearly with
+    // additional CPU cores" — 250 Ktps per Xeon core.
+    auto measure = [](int ncores) {
+        sim::Simulator s;
+        net::Network nw(s);
+        auto &serverNic = nw.addNic("kv-server");
+        auto &clientNic = nw.addNic("client");
+        sim::CorePool cores(s, "xeon", static_cast<std::size_t>(ncores));
+        KvStore kv;
+        kv.set("k", {1});
+        KvServerConfig cfg;
+        cfg.nic = &serverNic;
+        cfg.proto = net::Protocol::Udp; // memcached UDP mode
+        cfg.stack = calibration::vmaXeon();
+        for (int i = 0; i < ncores; ++i)
+            cfg.cores.push_back(&cores[static_cast<std::size_t>(i)]);
+        cfg.opCost = calibration::memcachedOpCostXeon;
+        KvServer server(s, kv, cfg);
+        server.start();
+
+        workload::LoadGenConfig lg;
+        lg.nic = &clientNic;
+        lg.target = {serverNic.node(), 11211};
+        lg.proto = net::Protocol::Udp;
+        lg.concurrency = ncores * 16;
+        lg.warmup = 5_ms;
+        lg.duration = 30_ms;
+        lg.makeRequest = [](std::uint64_t, sim::Rng &) {
+            return kvEncodeGet("k");
+        };
+        workload::LoadGen gen(s, lg);
+        gen.start();
+        s.runUntil(gen.windowEnd() + 5_ms);
+        return gen.throughputRps();
+    };
+
+    double one = measure(1);
+    double two = measure(2);
+    EXPECT_GT(one, 100'000.0);
+    EXPECT_LT(one, 400'000.0);
+    EXPECT_NEAR(two / one, 2.0, 0.35);
+}

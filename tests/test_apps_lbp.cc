@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Tests for LBP face verification: code properties, histogram mass,
+ * metric behaviour, and same/different-person separation on the
+ * synthetic FERET-like dataset.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/lbp.hh"
+#include "workload/datagen.hh"
+
+using namespace lynx::apps;
+using lynx::workload::synthFace;
+
+TEST(Lbp, HistogramMassEqualsPixelCount)
+{
+    auto img = synthFace(1, 0);
+    auto hist = lbpHistogram(img, 32, 32, 4);
+    EXPECT_EQ(hist.size(), 4u * 4u * 256u);
+    std::uint64_t total = 0;
+    for (auto h : hist)
+        total += h;
+    EXPECT_EQ(total, 32u * 32u);
+}
+
+TEST(Lbp, UniformImageGivesAllOnesCode)
+{
+    std::vector<std::uint8_t> flat(16 * 16, 100);
+    auto codes = lbpCodes(flat, 16, 16);
+    for (auto c : codes)
+        EXPECT_EQ(c, 0xff); // every neighbour >= center
+}
+
+TEST(Lbp, DistanceToSelfIsZero)
+{
+    auto img = synthFace(3, 1);
+    EXPECT_DOUBLE_EQ(lbpDistance(img, img, 32, 32), 0.0);
+}
+
+TEST(Lbp, ChiSquareIsSymmetric)
+{
+    auto a = lbpHistogram(synthFace(1, 0), 32, 32);
+    auto b = lbpHistogram(synthFace(2, 0), 32, 32);
+    EXPECT_DOUBLE_EQ(lbpChiSquare(a, b), lbpChiSquare(b, a));
+}
+
+TEST(Lbp, SamePersonCloserThanDifferentPerson)
+{
+    // The core property the Face Verification server depends on.
+    int correct = 0, total = 0;
+    for (std::uint32_t person = 0; person < 8; ++person) {
+        double same = lbpDistance(synthFace(person, 0),
+                                  synthFace(person, 1), 32, 32);
+        for (std::uint32_t other = 0; other < 8; ++other) {
+            if (other == person)
+                continue;
+            double diff = lbpDistance(synthFace(person, 0),
+                                      synthFace(other, 0), 32, 32);
+            correct += (same < diff);
+            ++total;
+        }
+    }
+    // Synthetic faces are crude; demand a strong majority.
+    EXPECT_GT(correct, total * 3 / 4);
+}
+
+TEST(Lbp, VerifyThresholdSeparates)
+{
+    auto probe = synthFace(5, 3);
+    auto enrolled = synthFace(5, 0);
+    auto impostor = synthFace(6, 0);
+    double genuine = lbpDistance(probe, enrolled, 32, 32);
+    double fraud = lbpDistance(probe, impostor, 32, 32);
+    EXPECT_LT(genuine, fraud);
+    double threshold = (genuine + fraud) / 2;
+    EXPECT_TRUE(lbpVerify(probe, enrolled, 32, 32, threshold));
+    EXPECT_FALSE(lbpVerify(probe, impostor, 32, 32, threshold));
+}
+
+TEST(LbpDeath, SizeMismatchPanics)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    std::vector<std::uint8_t> img(10);
+    EXPECT_DEATH(lbpCodes(img, 32, 32), "mismatch");
+}

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Tests for the host-centric baseline server: end-to-end echo via
+ * CUDA streams, stream-pool limits, and the driver-bottleneck
+ * behaviour the paper's §3.2/§6.2 describe.
+ */
+
+#include <gtest/gtest.h>
+
+#include "accel/gpu.hh"
+#include "baseline/host_server.hh"
+#include "lynx/calibration.hh"
+#include "net/network.hh"
+#include "sim/simulator.hh"
+#include "sim/task.hh"
+#include "workload/loadgen.hh"
+
+using namespace lynx;
+using namespace lynx::sim::literals;
+
+namespace {
+
+struct Rig
+{
+    sim::Simulator s;
+    net::Network nw{s};
+    net::Nic &serverNic = nw.addNic("server");
+    net::Nic &clientNic = nw.addNic("client");
+    sim::CorePool cores{s, "xeon", 6};
+    pcie::Fabric fabric{s, "pcie"};
+    accel::Gpu gpu{s, "gpu0", fabric};
+    accel::GpuDriver driver{s, gpu};
+
+    baseline::HostServerConfig
+    config(int streams = 32)
+    {
+        baseline::HostServerConfig cfg;
+        cfg.nic = &serverNic;
+        cfg.port = 7000;
+        cfg.stack = calibration::vmaXeon();
+        cfg.cores = {&cores[0]};
+        cfg.streams = streams;
+        return cfg;
+    }
+
+    /** The classic per-request pipeline: H2D, kernel, D2H, sync. */
+    baseline::HostHandler
+    echoHandler(sim::Tick kernelTime)
+    {
+        return [this, kernelTime](sim::Core &core, accel::Stream &st,
+                                  const net::Message &req)
+                   -> sim::Co<std::vector<std::uint8_t>> {
+            co_await st.memcpyH2D(core, req.size());
+            co_await st.launch(core, 1, kernelTime);
+            co_await st.memcpyD2H(core, req.size());
+            co_await st.sync(core);
+            co_return std::vector<std::uint8_t>(req.payload.rbegin(),
+                                                req.payload.rend());
+        };
+    }
+};
+
+} // namespace
+
+TEST(HostCentric, EndToEndEcho)
+{
+    Rig r;
+    baseline::HostCentricServer server(r.s, r.driver, r.config(),
+                                       r.echoHandler(100_us));
+    server.start();
+
+    auto &cliEp = r.clientNic.bind(net::Protocol::Udp, 40000);
+    net::Message resp;
+    auto client = [&]() -> sim::Task {
+        net::Message m;
+        m.src = {r.clientNic.node(), 40000};
+        m.dst = {r.serverNic.node(), 7000};
+        m.proto = net::Protocol::Udp;
+        m.payload = {1, 2, 3};
+        m.sentAt = r.s.now();
+        co_await r.clientNic.send(std::move(m));
+        resp = co_await cliEp.recv();
+    };
+    sim::spawn(r.s, client());
+    r.s.run();
+    EXPECT_EQ(resp.payload, (std::vector<std::uint8_t>{3, 2, 1}));
+    EXPECT_EQ(server.stats().counterValue("responses"), 1u);
+}
+
+TEST(HostCentric, LatencyIncludesManagementOverhead)
+{
+    // §3.2: 100 us kernel => ~130 us pipeline (30 us GPU management).
+    Rig r;
+    baseline::HostCentricServer server(r.s, r.driver, r.config(),
+                                       r.echoHandler(100_us));
+    server.start();
+
+    workload::LoadGenConfig lg;
+    lg.nic = &r.clientNic;
+    lg.target = {r.serverNic.node(), 7000};
+    lg.concurrency = 1;
+    lg.warmup = 2_ms;
+    lg.duration = 40_ms;
+    lg.makeRequest = [](std::uint64_t, sim::Rng &) {
+        return std::vector<std::uint8_t>(4, 1);
+    };
+    workload::LoadGen gen(r.s, lg);
+    gen.start();
+    r.s.runUntil(gen.windowEnd() + 2_ms);
+
+    double p50us = sim::toMicroseconds(gen.latency().percentile(50));
+    EXPECT_GT(p50us, 128.0); // kernel + mgmt + net
+    EXPECT_LT(p50us, 145.0);
+}
+
+TEST(HostCentric, StreamPoolBoundsConcurrency)
+{
+    Rig r;
+    // 2 streams, long kernels: throughput caps at 2 in flight.
+    baseline::HostCentricServer server(r.s, r.driver, r.config(2),
+                                       r.echoHandler(1_ms));
+    server.start();
+
+    workload::LoadGenConfig lg;
+    lg.nic = &r.clientNic;
+    lg.target = {r.serverNic.node(), 7000};
+    lg.concurrency = 8;
+    lg.warmup = 5_ms;
+    lg.duration = 100_ms;
+    lg.requestTimeout = 500_ms;
+    workload::LoadGen gen(r.s, lg);
+    gen.start();
+    r.s.runUntil(gen.windowEnd() + 20_ms);
+
+    // 2 concurrent 1 ms kernels => ~2000 req/s.
+    EXPECT_NEAR(gen.throughputRps(), 2000.0, 300.0);
+}
+
+TEST(HostCentric, DriverSerializesManyStreams)
+{
+    // With many short kernels the driver lock, not the GPU, is the
+    // bottleneck ("more threads result in a slowdown due to an
+    // NVIDIA driver bottleneck", §6.2).
+    Rig r;
+    baseline::HostCentricServer server(r.s, r.driver, r.config(64),
+                                       r.echoHandler(20_us));
+    server.start();
+
+    workload::LoadGenConfig lg;
+    lg.nic = &r.clientNic;
+    lg.target = {r.serverNic.node(), 7000};
+    lg.concurrency = 64;
+    lg.warmup = 5_ms;
+    lg.duration = 100_ms;
+    lg.requestTimeout = 500_ms;
+    workload::LoadGen gen(r.s, lg);
+    gen.start();
+    r.s.runUntil(gen.windowEnd() + 20_ms);
+
+    // GPU could do 64 / 20 us = 3.2 M/s; the driver allows ~25-35 K.
+    EXPECT_LT(gen.throughputRps(), 60'000.0);
+    EXPECT_GT(gen.throughputRps(), 15'000.0);
+    EXPECT_GT(r.driver.stats().counterValue("contended_calls"), 100u);
+}

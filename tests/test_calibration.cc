@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Calibration sanity: the constants in lynx/calibration.hh must stay
+ * consistent with the paper measurements they are anchored to. These
+ * tests fail loudly if someone retunes one constant and silently
+ * breaks a paper anchor elsewhere.
+ */
+
+#include <gtest/gtest.h>
+
+#include "accel/gpu.hh"
+#include "lynx/calibration.hh"
+
+using namespace lynx;
+using namespace lynx::calibration;
+using namespace lynx::sim::literals;
+
+TEST(Calibration, LenetKernelsSumToTheGpuCeiling)
+{
+    // §6.3: single-GPU theoretical max 3.6 Kreq/s => ~278 us total.
+    double totalUs = sim::toMicroseconds(lenetTotal());
+    EXPECT_NEAR(totalUs, 278.0, 10.0);
+    double ceiling = 1e6 / totalUs;
+    EXPECT_GT(ceiling, 3500.0);
+    EXPECT_LT(ceiling, 3750.0);
+}
+
+TEST(Calibration, K80ClockScaleMatchesPaperRatio)
+{
+    // §6.3 footnote: K80 peaks at 3300 req/s where K40m does 3500;
+    // the end-to-end validation is Fig. 8b (3310 req/s per K80).
+    EXPECT_NEAR(k80ClockScale, 3500.0 / 3300.0, 0.01);
+}
+
+TEST(Calibration, VmaIsCheaperThanKernelStacks)
+{
+    // §5.1.1: 4x UDP reduction on Bluefield, 2x on the host.
+    auto vx = vmaXeon(), kx = kernelXeon();
+    auto vb = vmaBluefield(), kb = kernelBluefield();
+    double hostRatio =
+        static_cast<double>(kx.udpRecv + kx.udpSend) /
+        static_cast<double>(vx.udpRecv + vx.udpSend);
+    double bfRatio =
+        static_cast<double>(kb.udpRecv + kb.udpSend) /
+        static_cast<double>(vb.udpRecv + vb.udpSend);
+    EXPECT_NEAR(hostRatio, 2.0, 0.3);
+    EXPECT_NEAR(bfRatio, 4.0, 0.5);
+}
+
+TEST(Calibration, ArmStackCostsExceedXeonEverywhere)
+{
+    auto x = vmaXeon(), b = vmaBluefield();
+    EXPECT_GT(b.udpRecv, x.udpRecv);
+    EXPECT_GT(b.udpSend, x.udpSend);
+    EXPECT_GT(b.tcpRecv, x.tcpRecv);
+    EXPECT_GT(b.tcpSend, x.tcpSend);
+    EXPECT_GT(b.perByte, x.perByte);
+    EXPECT_GT(dispatchCpuArm, dispatchCpuXeon);
+    EXPECT_GT(forwardCpuArm, forwardCpuXeon);
+}
+
+TEST(Calibration, Fig8cXeonUdpAnchor)
+{
+    // One Xeon core saturates around 74 LeNet GPUs (259 Kreq/s of
+    // 784 B requests): per-request CPU must be ~3.5-5 us.
+    auto p = vmaXeon();
+    double perReq =
+        sim::toMicroseconds(p.cost(net::Protocol::Udp, net::Dir::Recv,
+                                   784) +
+                            p.cost(net::Protocol::Udp, net::Dir::Send,
+                                   1) +
+                            dispatchCpuXeon + forwardCpuXeon +
+                            3 * rdmaPostCost);
+    EXPECT_GT(perReq, 3.0);
+    EXPECT_LT(perReq, 5.5);
+}
+
+TEST(Calibration, Fig8cBluefieldUdpAnchor)
+{
+    // Bluefield (7 ARM cores) saturates around 102 GPUs (~357 K):
+    // per-request ARM CPU ~18-22 us.
+    auto p = vmaBluefield();
+    double perReq =
+        sim::toMicroseconds(p.cost(net::Protocol::Udp, net::Dir::Recv,
+                                   784) +
+                            p.cost(net::Protocol::Udp, net::Dir::Send,
+                                   1) +
+                            dispatchCpuArm + forwardCpuArm +
+                            3 * rdmaPostCost);
+    EXPECT_GT(perReq, 17.0);
+    EXPECT_LT(perReq, 23.0);
+    double gpus = 7.0 * 1e6 / perReq / 3500.0;
+    EXPECT_NEAR(gpus, 102.0, 15.0);
+}
+
+TEST(Calibration, Fig8cTcpAnchors)
+{
+    // TCP: ~7 GPUs on a Xeon core, ~15 on Bluefield.
+    auto x = vmaXeon();
+    double xeonPerReq = sim::toMicroseconds(
+        x.cost(net::Protocol::Tcp, net::Dir::Recv, 784) +
+        x.cost(net::Protocol::Tcp, net::Dir::Send, 1));
+    EXPECT_NEAR(1e6 / xeonPerReq / 3500.0, 7.0, 1.5);
+
+    auto b = vmaBluefield();
+    double bfPerReq = sim::toMicroseconds(
+        b.cost(net::Protocol::Tcp, net::Dir::Recv, 784) +
+        b.cost(net::Protocol::Tcp, net::Dir::Send, 1));
+    EXPECT_NEAR(7.0 * 1e6 / bfPerReq / 3500.0, 15.0, 2.5);
+}
+
+TEST(Calibration, RdmaPostIsSubMicrosecond)
+{
+    // §5.1: "IB RDMA requires less than 1 usec to invoke by the CPU".
+    EXPECT_LT(rdmaPostCost, 1_us);
+    EXPECT_GT(rdmaPostCost, 0u);
+}
+
+TEST(Calibration, RemotePathAddsEightMicrosecondsRoundTrip)
+{
+    // §6.3: "Using remote GPUs adds about 8 usec".
+    EXPECT_EQ(2 * rdmaRemoteExtraOneWay, 8_us);
+}
+
+TEST(Calibration, InnovaAfuRateIsPaperRate)
+{
+    double rate = 1e9 / static_cast<double>(innovaAfuPerMessage);
+    EXPECT_NEAR(rate / 1e6, 7.4, 0.2);
+}
+
+TEST(Calibration, MemcachedAnchors)
+{
+    // Fig. 9: 250 Ktps/Xeon core, 400 Ktps whole Bluefield.
+    auto x = vmaXeon();
+    double xeonPerOp = sim::toMicroseconds(
+        memcachedOpCostXeon +
+        x.cost(net::Protocol::Udp, net::Dir::Recv, 11) +
+        x.cost(net::Protocol::Udp, net::Dir::Send, 6));
+    EXPECT_NEAR(1e6 / xeonPerOp, 250'000.0, 40'000.0);
+
+    auto b = vmaBluefield();
+    double armPerOp = sim::toMicroseconds(
+        memcachedOpCostArm +
+        b.cost(net::Protocol::Udp, net::Dir::Recv, 11) +
+        b.cost(net::Protocol::Udp, net::Dir::Send, 6));
+    EXPECT_NEAR(7.0 * 1e6 / armPerOp, 400'000.0, 50'000.0);
+}
+
+TEST(Calibration, DriverPipelineOverheadIsThirtyMicroseconds)
+{
+    // §3.2: H2D + launch + D2H + sync adds ~30 us to a request. The
+    // static sum overstates the pipeline (submissions overlap with
+    // device residuals); the exact 29.8 us is asserted end-to-end in
+    // Stream.EchoPipelineMatchesPaperOverhead.
+    accel::GpuDriverConfig d;
+    double staticSumUs = sim::toMicroseconds(
+        3 * d.submitCost + d.syncCost + 2 * d.memcpyResidual +
+        d.launchResidual);
+    EXPECT_GT(staticSumUs, 25.0);
+    EXPECT_LT(staticSumUs, 40.0);
+}
+
+TEST(Calibration, BackendTcpIsLighterThanServerTcpOnXeon)
+{
+    // Persistent backend connections (client mqueues, §4.3) are far
+    // cheaper than terminating client TCP on Xeon; on the Bluefield
+    // the ARM cores keep most of the cost (§6.4).
+    auto sx = vmaXeon(), bx = backendTcpXeon();
+    EXPECT_LT(bx.tcpRecv * 3, sx.tcpRecv);
+    auto sb = vmaBluefield(), bb = backendTcpBluefield();
+    EXPECT_LT(bb.tcpRecv, sb.tcpRecv);
+    EXPECT_GT(bb.tcpRecv * 2, sb.tcpRecv);
+}

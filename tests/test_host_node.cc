@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Tests for the machine aggregate and the LLC interference model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "host/llc.hh"
+#include "host/node.hh"
+#include "net/network.hh"
+#include "sim/histogram.hh"
+#include "sim/simulator.hh"
+
+using namespace lynx;
+using namespace lynx::sim::literals;
+
+TEST(Node, AggregatesResources)
+{
+    sim::Simulator s;
+    net::Network nw(s);
+    host::NodeConfig cfg;
+    cfg.cores = 6;
+    host::Node n(s, nw, "server0", cfg);
+    EXPECT_EQ(n.cores().size(), 6u);
+    EXPECT_EQ(n.id(), 0u);
+    EXPECT_EQ(n.nic().name(), "server0.nic");
+    EXPECT_EQ(n.fabric().name(), "server0.pcie");
+
+    host::Node m(s, nw, "server1");
+    EXPECT_EQ(m.id(), 1u);
+    EXPECT_EQ(nw.nodeCount(), 2u);
+}
+
+TEST(Llc, QuietCacheIsNeutral)
+{
+    host::LlcModel llc;
+    EXPECT_FALSE(llc.noisy());
+    EXPECT_DOUBLE_EQ(llc.neighborFactor(), 1.0);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_DOUBLE_EQ(llc.sampleVictimFactor(), 1.0);
+    EXPECT_EQ(llc.perturb(100_us), 100_us);
+}
+
+TEST(Llc, NeighborSlowdownMatchesConfig)
+{
+    host::LlcConfig cfg;
+    cfg.neighborSlowdown = 1.27;
+    host::LlcModel llc(cfg);
+    llc.setNoisy(true);
+    EXPECT_DOUBLE_EQ(llc.neighborFactor(), 1.27);
+}
+
+TEST(Llc, VictimSeesSteadySlowdownAndBursts)
+{
+    host::LlcConfig cfg;
+    cfg.victimSteady = 1.35;
+    cfg.burstProbability = 0.02;
+    cfg.burstScale = 12.0;
+    host::LlcModel llc(cfg, 42);
+    llc.setNoisy(true);
+
+    sim::Histogram h;
+    const int n = 200000;
+    int bursts = 0;
+    for (int i = 0; i < n; ++i) {
+        double f = llc.sampleVictimFactor();
+        EXPECT_GE(f, cfg.victimSteady);
+        if (f > cfg.victimSteady + 1.0)
+            ++bursts;
+        h.record(static_cast<std::uint64_t>(f * 1000));
+    }
+    // ~2% of operations burst.
+    EXPECT_NEAR(static_cast<double>(bursts) / n, 0.02, 0.005);
+    // Median is the steady slowdown; p99+ is an order of magnitude.
+    EXPECT_NEAR(static_cast<double>(h.percentile(50)) / 1000.0, 1.35, 0.1);
+    EXPECT_GT(h.percentile(99.5), 5000u);
+}
+
+TEST(Llc, DeterministicAcrossRunsWithSameSeed)
+{
+    host::LlcModel a({}, 7), b({}, 7);
+    a.setNoisy(true);
+    b.setNoisy(true);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_DOUBLE_EQ(a.sampleVictimFactor(), b.sampleVictimFactor());
+}

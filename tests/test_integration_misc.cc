@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Cross-cutting integration tests: accelerator composition (two
+ * services pipelined through the SNIC), multi-service isolation,
+ * runtime misuse diagnostics, and stats plumbing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "accel/gpu.hh"
+#include "apps/gpu_services.hh"
+#include "lynx/runtime.hh"
+#include "net/network.hh"
+#include "snic/bluefield.hh"
+#include "sim/simulator.hh"
+#include "workload/loadgen.hh"
+
+using namespace lynx;
+using namespace lynx::sim::literals;
+
+namespace {
+
+struct Rig
+{
+    sim::Simulator s;
+    net::Network nw{s};
+    snic::Bluefield bf{s, nw, "bf0"};
+    net::Nic &clientNic = nw.addNic("client");
+    pcie::Fabric fabric{s, "pcie"};
+    accel::Gpu gpuA{s, "gpu-a", fabric};
+    accel::Gpu gpuB{s, "gpu-b", fabric};
+};
+
+} // namespace
+
+TEST(Composition, TwoStagePipelineThroughTheSnic)
+{
+    // Stage 1 on GPU A increments each byte, then consults stage 2
+    // (GPU B doubles each byte) through a client mqueue whose backend
+    // is the SNIC's own second service.
+    Rig r;
+    core::Runtime rt(r.s, r.bf.lynxRuntimeConfig());
+    auto &accelA = rt.addAccelerator("a", r.gpuA.memory(),
+                                     rdma::RdmaPathModel{});
+    auto &accelB = rt.addAccelerator("b", r.gpuB.memory(),
+                                     rdma::RdmaPathModel{});
+    core::ServiceConfig front;
+    front.name = "front";
+    front.port = 7000;
+    front.accels = {&accelA};
+    auto &frontSvc = rt.addService(front);
+    core::ServiceConfig back;
+    back.name = "back";
+    back.port = 7001;
+    back.accels = {&accelB};
+    auto &backSvc = rt.addService(back);
+    auto stage2Ref = rt.addClientQueue(accelA, "a2b",
+                                       {r.bf.node(), 7001},
+                                       net::Protocol::Udp);
+
+    auto frontQs = rt.makeAccelQueues(frontSvc, accelA);
+    auto stage2Q = rt.makeAccelQueue(stage2Ref);
+    auto backQs = rt.makeAccelQueues(backSvc, accelB);
+
+    auto stage1 = [&]() -> sim::Task {
+        co_await r.gpuA.slots().acquire(1);
+        std::uint32_t tag = 1;
+        for (;;) {
+            core::GioMessage m = co_await frontQs[0]->recv();
+            for (auto &b : m.payload)
+                b = static_cast<std::uint8_t>(b + 1);
+            co_await stage2Q->send(tag++, m.payload);
+            core::GioMessage resp = co_await stage2Q->recv();
+            EXPECT_EQ(resp.err, 0u);
+            co_await frontQs[0]->send(m.tag, resp.payload);
+        }
+    };
+    auto stage2 = [&]() -> sim::Task {
+        co_await r.gpuB.slots().acquire(1);
+        for (;;) {
+            core::GioMessage m = co_await backQs[0]->recv();
+            for (auto &b : m.payload)
+                b = static_cast<std::uint8_t>(b * 2);
+            co_await backQs[0]->send(m.tag, m.payload);
+        }
+    };
+    sim::spawn(r.s, stage1());
+    sim::spawn(r.s, stage2());
+    rt.start();
+
+    auto &ep = r.clientNic.bind(net::Protocol::Udp, 40000);
+    std::vector<std::uint8_t> got;
+    auto client = [&]() -> sim::Task {
+        net::Message m;
+        m.src = {r.clientNic.node(), 40000};
+        m.dst = {r.bf.node(), 7000};
+        m.proto = net::Protocol::Udp;
+        m.payload = {1, 2, 3, 100};
+        co_await r.clientNic.send(std::move(m));
+        net::Message resp = co_await ep.recv();
+        got = resp.payload;
+    };
+    sim::spawn(r.s, client());
+    r.s.run();
+    // (x + 1) * 2
+    EXPECT_EQ(got, (std::vector<std::uint8_t>{4, 6, 8, 202}));
+}
+
+TEST(MultiService, TenantsAreIsolatedByAcceleratorFilter)
+{
+    Rig r;
+    core::Runtime rt(r.s, r.bf.lynxRuntimeConfig());
+    auto &accelA = rt.addAccelerator("a", r.gpuA.memory(),
+                                     rdma::RdmaPathModel{});
+    auto &accelB = rt.addAccelerator("b", r.gpuB.memory(),
+                                     rdma::RdmaPathModel{});
+    core::ServiceConfig ca;
+    ca.name = "svcA";
+    ca.port = 7000;
+    ca.accels = {&accelA};
+    auto &svcA = rt.addService(ca);
+    core::ServiceConfig cb;
+    cb.name = "svcB";
+    cb.port = 7001;
+    cb.accels = {&accelB};
+    auto &svcB = rt.addService(cb);
+
+    auto qa = rt.makeAccelQueues(svcA, accelA);
+    auto qb = rt.makeAccelQueues(svcB, accelB);
+    sim::spawn(r.s, apps::runEchoBlock(r.gpuA, *qa[0], 10_us));
+    sim::spawn(r.s, apps::runEchoBlock(r.gpuB, *qb[0], 10_us));
+    rt.start();
+
+    workload::LoadGenConfig lg;
+    lg.nic = &r.clientNic;
+    lg.target = {r.bf.node(), 7000};
+    lg.warmup = 1_ms;
+    lg.duration = 20_ms;
+    workload::LoadGen genA(r.s, lg);
+    lg.target = {r.bf.node(), 7001};
+    lg.basePort = 41000;
+    workload::LoadGen genB(r.s, lg);
+    genA.start();
+    genB.start();
+    r.s.runUntil(genA.windowEnd() + 2_ms);
+
+    EXPECT_GT(genA.completed(), 100u);
+    EXPECT_GT(genB.completed(), 100u);
+    // Strict isolation: each tenant's traffic only on its GPU.
+    EXPECT_GE(qa[0]->stats().counterValue("rx_msgs"),
+              genA.completed());
+    EXPECT_GE(qb[0]->stats().counterValue("rx_msgs"),
+              genB.completed());
+    // svcA's layouts do not exist on accelB and vice versa.
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EXPECT_DEATH((void)svcA.layoutsFor(accelB), "no queues");
+    EXPECT_DEATH((void)svcB.layoutsFor(accelA), "no queues");
+}
+
+TEST(RuntimeMisuse, AcceleratorAfterServicePanics)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    Rig r;
+    core::Runtime rt(r.s, r.bf.lynxRuntimeConfig());
+    rt.addAccelerator("a", r.gpuA.memory(), rdma::RdmaPathModel{});
+    core::ServiceConfig scfg;
+    scfg.port = 7000;
+    rt.addService(scfg);
+    EXPECT_DEATH(rt.addAccelerator("b", r.gpuB.memory(),
+                                   rdma::RdmaPathModel{}),
+                 "before adding services");
+}
+
+TEST(RuntimeMisuse, DoubleStartPanics)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    Rig r;
+    core::Runtime rt(r.s, r.bf.lynxRuntimeConfig());
+    rt.addAccelerator("a", r.gpuA.memory(), rdma::RdmaPathModel{});
+    core::ServiceConfig scfg;
+    scfg.port = 7000;
+    rt.addService(scfg);
+    rt.start();
+    EXPECT_DEATH(rt.start(), "twice");
+}
+
+TEST(RuntimeMisuse, ServiceWithoutAcceleratorsPanics)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    Rig r;
+    core::Runtime rt(r.s, r.bf.lynxRuntimeConfig());
+    core::ServiceConfig scfg;
+    EXPECT_DEATH(rt.addService(scfg), "no accelerators");
+}
+
+TEST(Stats, DumpPrintsCountersAndHistograms)
+{
+    sim::StatSet set;
+    set.counter("requests").add(41);
+    set.counter("requests").add();
+    set.histogram("latency").record(100);
+    set.histogram("latency").record(200);
+    std::ostringstream os;
+    set.dump(os, "svc.");
+    std::string out = os.str();
+    EXPECT_NE(out.find("svc.requests = 42"), std::string::npos);
+    EXPECT_NE(out.find("svc.latency: n=2"), std::string::npos);
+    set.reset();
+    EXPECT_EQ(set.counterValue("requests"), 0u);
+}
+
+TEST(Stats, MissingCounterReadsZero)
+{
+    sim::StatSet set;
+    EXPECT_EQ(set.counterValue("never-touched"), 0u);
+}

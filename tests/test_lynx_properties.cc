@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Property tests over the full Lynx stack: for randomized payloads
+ * and a grid of (protocol, queue count, payload size, ring geometry)
+ * configurations, every request must come back byte-exact, exactly
+ * once, with conservation of message counts across the pipeline
+ * stages (NIC -> dispatcher -> mqueue -> gio -> forwarder -> client).
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <tuple>
+
+#include "accel/gpu.hh"
+#include "apps/gpu_services.hh"
+#include "lynx/runtime.hh"
+#include "net/network.hh"
+#include "snic/bluefield.hh"
+#include "sim/simulator.hh"
+#include "workload/loadgen.hh"
+
+using namespace lynx;
+using namespace lynx::sim::literals;
+
+namespace {
+
+struct World
+{
+    sim::Simulator s;
+    net::Network nw{s};
+    snic::Bluefield bf{s, nw, "bf0"};
+    net::Nic &clientNic = nw.addNic("client");
+    pcie::Fabric fabric{s, "pcie"};
+    accel::Gpu gpu{s, "k40m", fabric};
+    std::unique_ptr<core::Runtime> rt;
+    std::vector<std::unique_ptr<core::AccelQueue>> queues;
+    core::Service *svc = nullptr;
+
+    World(net::Protocol proto, int nQueues, std::uint32_t ringSlots,
+          std::uint32_t slotBytes)
+    {
+        rt = std::make_unique<core::Runtime>(s, bf.lynxRuntimeConfig());
+        auto &accel = rt->addAccelerator("k40m", gpu.memory(),
+                                         rdma::RdmaPathModel{});
+        core::ServiceConfig scfg;
+        scfg.name = "prop";
+        scfg.port = 7000;
+        scfg.proto = proto;
+        scfg.queuesPerAccel = nQueues;
+        scfg.ringSlots = ringSlots;
+        scfg.slotBytes = slotBytes;
+        svc = &rt->addService(scfg);
+        queues = rt->makeAccelQueues(*svc, accel);
+        for (auto &q : queues)
+            sim::spawn(s, apps::runEchoBlock(gpu, *q, 5_us));
+        rt->start();
+    }
+};
+
+} // namespace
+
+/** (proto, queues, payloadBytes, ringSlots, seed) */
+using EchoParam = std::tuple<net::Protocol, int, int, int,
+                             std::uint64_t>;
+
+class LynxEchoProperty : public ::testing::TestWithParam<EchoParam>
+{};
+
+TEST_P(LynxEchoProperty, RandomPayloadsEchoExactlyOnceByteExact)
+{
+    auto [proto, nQueues, payloadBytes, ringSlots, seed] = GetParam();
+    World w(proto, nQueues, static_cast<std::uint32_t>(ringSlots),
+            2048);
+
+    const int total = 150;
+    workload::LoadGenConfig lg;
+    lg.nic = &w.clientNic;
+    lg.target = {w.bf.node(), 7000};
+    lg.proto = proto;
+    lg.concurrency = 4;
+    lg.warmup = 0;
+    lg.duration = 500_ms; // generous: the count below ends the run
+    lg.seed = seed;
+    lg.requestTimeout = 300_ms;
+    lg.makeRequest = [&, payloadBytes](std::uint64_t seq,
+                                       sim::Rng &rng) {
+        std::vector<std::uint8_t> p(
+            static_cast<std::size_t>(payloadBytes));
+        for (auto &b : p)
+            b = static_cast<std::uint8_t>(rng.below(256));
+        // Stamp the sequence for integrity checking.
+        if (p.size() >= 8) {
+            for (int i = 0; i < 8; ++i)
+                p[static_cast<std::size_t>(i)] =
+                    static_cast<std::uint8_t>(seq >> (8 * i));
+        }
+        return p;
+    };
+    std::uint64_t echoed = 0, integrityErrors = 0;
+    lg.validate = [&](const net::Message &resp) {
+        ++echoed;
+        if (resp.payload.size() !=
+            static_cast<std::size_t>(payloadBytes)) {
+            ++integrityErrors;
+            return false;
+        }
+        if (resp.payload.size() >= 8) {
+            std::uint64_t got = 0;
+            for (int i = 0; i < 8; ++i)
+                got |= static_cast<std::uint64_t>(
+                           resp.payload[static_cast<std::size_t>(i)])
+                       << (8 * i);
+            if (got != resp.seq) {
+                ++integrityErrors;
+                return false;
+            }
+        }
+        return true;
+    };
+    workload::LoadGen gen(w.s, lg);
+    gen.start();
+
+    // Run until `total` responses (or the window closes).
+    while (echoed < total && w.s.now() < lg.warmup + lg.duration) {
+        w.s.runUntil(w.s.now() + 1_ms);
+    }
+    EXPECT_GE(echoed, static_cast<std::uint64_t>(total));
+    EXPECT_EQ(integrityErrors, 0u);
+    EXPECT_EQ(gen.validationFailures(), 0u);
+
+    // Conservation: everything the dispatcher accepted reached a gio
+    // queue and every response was forwarded exactly once.
+    std::uint64_t dispatched =
+        w.svc->dispatcher().stats().counterValue("dispatched");
+    std::uint64_t gioRx = 0, gioTx = 0;
+    for (auto &q : w.queues) {
+        gioRx += q->stats().counterValue("rx_msgs");
+        gioTx += q->stats().counterValue("tx_msgs");
+    }
+    EXPECT_LE(gioRx, dispatched);
+    EXPECT_GE(gioTx, echoed);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, LynxEchoProperty,
+    ::testing::Values(
+        EchoParam{net::Protocol::Udp, 1, 16, 16, 1},
+        EchoParam{net::Protocol::Udp, 4, 64, 16, 2},
+        EchoParam{net::Protocol::Udp, 16, 256, 8, 3},
+        EchoParam{net::Protocol::Udp, 4, 1400, 16, 4},
+        EchoParam{net::Protocol::Udp, 2, 64, 2, 5},   // tiny rings
+        EchoParam{net::Protocol::Udp, 3, 777, 3, 6},  // odd geometry
+        EchoParam{net::Protocol::Tcp, 1, 64, 16, 7},
+        EchoParam{net::Protocol::Tcp, 8, 512, 16, 8},
+        EchoParam{net::Protocol::Udp, 1, 8, 16, 9},   // < seq stamp
+        EchoParam{net::Protocol::Udp, 32, 128, 4, 10}));
+
+TEST(LynxMultiplexing, ManyClientsShareOneServerMqueue)
+{
+    // §4.5: "Lynx allows multiplexing multiple connections over the
+    // same server mqueue" — 40 concurrent clients, one mqueue.
+    World w(net::Protocol::Udp, 1, 16, 2048);
+    const int clients = 40;
+    std::map<std::uint16_t, int> perClient;
+
+    auto &ep0 = w.clientNic; // all workers on one NIC, many ports
+    std::vector<std::unique_ptr<workload::LoadGen>> gens;
+    workload::LoadGenConfig lg;
+    lg.nic = &ep0;
+    lg.target = {w.bf.node(), 7000};
+    lg.concurrency = clients;
+    lg.warmup = 0;
+    lg.duration = 30_ms;
+    lg.requestTimeout = 200_ms;
+    workload::LoadGen gen(w.s, lg);
+    gen.start();
+    w.s.runUntil(gen.windowEnd() + 5_ms);
+
+    EXPECT_GT(gen.completed(), 1000u);
+    EXPECT_EQ(gen.validationFailures(), 0u);
+    // One mqueue carried all of it.
+    EXPECT_GE(w.queues[0]->stats().counterValue("rx_msgs"),
+              gen.completed());
+}
+
+TEST(LynxMultiplexing, TagTableBoundsOutstandingRequestsSafely)
+{
+    // Hammer one tiny mqueue far beyond its capacity: drops are fine,
+    // corruption and tag-table leaks are not.
+    World w(net::Protocol::Udp, 1, 4, 256);
+    workload::LoadGenConfig lg;
+    lg.nic = &w.clientNic;
+    lg.target = {w.bf.node(), 7000};
+    lg.openRate = 500'000; // far above one echo block's capacity
+    lg.warmup = 1_ms;
+    lg.duration = 30_ms;
+    lg.makeRequest = [](std::uint64_t, sim::Rng &) {
+        return std::vector<std::uint8_t>(32, 1);
+    };
+    workload::LoadGen gen(w.s, lg);
+    gen.start();
+    w.s.runUntil(gen.windowEnd() + 10_ms);
+
+    // Overload: many sent, some dropped, everything echoed is valid.
+    EXPECT_GT(gen.sent(), gen.completed());
+    EXPECT_EQ(gen.validationFailures(), 0u);
+    auto &d = w.svc->dispatcher().stats();
+    EXPECT_GT(d.counterValue("dropped_ring_full") +
+                  d.counterValue("dropped_no_tag"),
+              0u);
+    // After the dust settles the service still works: tag table must
+    // not have leaked (a fresh request round-trips).
+    workload::LoadGenConfig probe;
+    probe.nic = &w.clientNic;
+    probe.basePort = 45000;
+    probe.target = {w.bf.node(), 7000};
+    probe.concurrency = 1;
+    probe.warmup = w.s.now() + 5_ms;
+    probe.duration = 10_ms;
+    workload::LoadGen probeGen(w.s, probe);
+    probeGen.start();
+    w.s.runUntil(w.s.now() + 25_ms);
+    EXPECT_GT(probeGen.completed(), 50u);
+    EXPECT_EQ(probeGen.validationFailures(), 0u);
+}

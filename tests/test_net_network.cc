@@ -1,0 +1,276 @@
+/**
+ * @file
+ * Tests for the network substrate: NIC binding/demux, message flight
+ * time, FIFO delivery, queue overflow, and stack cost profiles.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/network.hh"
+#include "net/nic.hh"
+#include "net/stack.hh"
+#include "sim/simulator.hh"
+#include "sim/task.hh"
+
+using namespace lynx;
+using namespace lynx::sim::literals;
+using net::Address;
+using net::Message;
+using net::Protocol;
+
+namespace {
+
+Message
+makeMsg(Address src, Address dst, std::size_t bytes,
+        Protocol proto = Protocol::Udp)
+{
+    Message m;
+    m.src = src;
+    m.dst = dst;
+    m.proto = proto;
+    m.payload.assign(bytes, 0xab);
+    return m;
+}
+
+} // namespace
+
+TEST(Network, DeliversToBoundEndpoint)
+{
+    sim::Simulator s;
+    net::Network nw(s);
+    auto &a = nw.addNic("a");
+    auto &b = nw.addNic("b");
+    auto &ep = b.bind(Protocol::Udp, 7000);
+
+    Message got;
+    auto receiver = [&]() -> sim::Task { got = co_await ep.recv(); };
+    auto sender = [&]() -> sim::Task {
+        co_await a.send(makeMsg({a.node(), 1}, {b.node(), 7000}, 64));
+    };
+    sim::spawn(s, receiver());
+    sim::spawn(s, sender());
+    s.run();
+    EXPECT_EQ(got.size(), 64u);
+    EXPECT_EQ(got.src.node, a.node());
+    EXPECT_EQ(got.dst.port, 7000);
+}
+
+TEST(Network, FlightTimeMatchesModel)
+{
+    sim::Simulator s;
+    net::NetworkConfig ncfg;
+    ncfg.switchLatency = 600_ns;
+    ncfg.propagation = 400_ns;
+    net::Network nw(s, ncfg);
+    net::NicConfig cfg;
+    cfg.gbps = 40.0;
+    cfg.hwLatency = 300_ns;
+    auto &a = nw.addNic("a", cfg);
+    auto &b = nw.addNic("b", cfg);
+    auto &ep = b.bind(Protocol::Udp, 1);
+
+    sim::Tick arrival = 0;
+    auto receiver = [&]() -> sim::Task {
+        (void)co_await ep.recv();
+        arrival = s.now();
+    };
+    auto sender = [&]() -> sim::Task {
+        co_await a.send(makeMsg({a.node(), 9}, {b.node(), 1}, 1000));
+    };
+    sim::spawn(s, receiver());
+    sim::spawn(s, sender());
+    s.run();
+    // serialization(1000B @ 40G) = 200ns, + tx hw 300 + switch 600 +
+    // prop 400 + rx hw 300 = 1800ns total.
+    EXPECT_EQ(arrival, 1800_ns);
+}
+
+TEST(Network, PerPairFifoOrder)
+{
+    sim::Simulator s;
+    net::Network nw(s);
+    auto &a = nw.addNic("a");
+    auto &b = nw.addNic("b");
+    auto &ep = b.bind(Protocol::Udp, 5);
+
+    std::vector<std::uint64_t> seqs;
+    auto receiver = [&]() -> sim::Task {
+        for (int i = 0; i < 20; ++i) {
+            Message m = co_await ep.recv();
+            seqs.push_back(m.seq);
+        }
+    };
+    auto sender = [&]() -> sim::Task {
+        for (std::uint64_t i = 0; i < 20; ++i) {
+            Message m = makeMsg({a.node(), 9}, {b.node(), 5}, 64);
+            m.seq = i;
+            co_await a.send(std::move(m));
+        }
+    };
+    sim::spawn(s, receiver());
+    sim::spawn(s, sender());
+    s.run();
+    ASSERT_EQ(seqs.size(), 20u);
+    for (std::uint64_t i = 0; i < 20; ++i)
+        EXPECT_EQ(seqs[i], i);
+}
+
+TEST(Network, UnboundPortCountsAsDrop)
+{
+    sim::Simulator s;
+    net::Network nw(s);
+    auto &a = nw.addNic("a");
+    auto &b = nw.addNic("b");
+    auto sender = [&]() -> sim::Task {
+        co_await a.send(makeMsg({a.node(), 9}, {b.node(), 404}, 64));
+    };
+    sim::spawn(s, sender());
+    s.run();
+    EXPECT_EQ(b.stats().counterValue("rx_no_endpoint"), 1u);
+}
+
+TEST(Network, QueueOverflowDropsUdp)
+{
+    sim::Simulator s;
+    net::Network nw(s);
+    net::NicConfig small;
+    small.queueDepth = 4;
+    auto &a = nw.addNic("a");
+    auto &b = nw.addNic("b", small);
+    auto &ep = b.bind(Protocol::Udp, 7);
+
+    auto sender = [&]() -> sim::Task {
+        for (int i = 0; i < 10; ++i)
+            co_await a.send(makeMsg({a.node(), 9}, {b.node(), 7}, 64));
+    };
+    sim::spawn(s, sender());
+    s.run();
+    EXPECT_EQ(ep.backlog(), 4u);
+    EXPECT_EQ(ep.dropped(), 6u);
+    EXPECT_EQ(b.stats().counterValue("rx_drop_udp"), 6u);
+}
+
+TEST(Network, TxSerializationBackpressuresSender)
+{
+    sim::Simulator s;
+    net::Network nw(s);
+    net::NicConfig slow;
+    slow.gbps = 1.0; // 1 Gbps: 1250 bytes take 10 us
+    auto &a = nw.addNic("a", slow);
+    auto &b = nw.addNic("b");
+    b.bind(Protocol::Udp, 7);
+
+    sim::Tick done = 0;
+    auto sender = [&]() -> sim::Task {
+        for (int i = 0; i < 5; ++i)
+            co_await a.send(makeMsg({a.node(), 9}, {b.node(), 7}, 1250));
+        done = s.now();
+    };
+    sim::spawn(s, sender());
+    s.run();
+    EXPECT_EQ(done, 50_us);
+}
+
+TEST(Network, DuplicatePortBindPanics)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    sim::Simulator s;
+    net::Network nw(s);
+    auto &a = nw.addNic("a");
+    a.bind(Protocol::Udp, 80);
+    EXPECT_DEATH(a.bind(Protocol::Udp, 80), "already bound");
+    // Same port, different protocol is fine.
+    a.bind(Protocol::Tcp, 80);
+}
+
+TEST(Network, SeparateProtocolNamespaces)
+{
+    sim::Simulator s;
+    net::Network nw(s);
+    auto &a = nw.addNic("a");
+    auto &b = nw.addNic("b");
+    auto &udp = b.bind(Protocol::Udp, 9);
+    auto &tcp = b.bind(Protocol::Tcp, 9);
+
+    auto sender = [&]() -> sim::Task {
+        co_await a.send(
+            makeMsg({a.node(), 1}, {b.node(), 9}, 10, Protocol::Tcp));
+    };
+    sim::spawn(s, sender());
+    s.run();
+    EXPECT_EQ(udp.backlog(), 0u);
+    EXPECT_EQ(tcp.backlog(), 1u);
+}
+
+TEST(StackProfile, CostSelectsByProtocolAndDirection)
+{
+    net::StackProfile p;
+    p.udpRecv = 2_us;
+    p.udpSend = 1_us;
+    p.tcpRecv = 20_us;
+    p.tcpSend = 15_us;
+    p.perByte = 0.5;
+
+    EXPECT_EQ(p.cost(Protocol::Udp, net::Dir::Recv, 0), 2_us);
+    EXPECT_EQ(p.cost(Protocol::Udp, net::Dir::Send, 0), 1_us);
+    EXPECT_EQ(p.cost(Protocol::Tcp, net::Dir::Recv, 0), 20_us);
+    EXPECT_EQ(p.cost(Protocol::Tcp, net::Dir::Send, 0), 15_us);
+    // 1000 bytes at 0.5 ns/B adds 500 ns.
+    EXPECT_EQ(p.cost(Protocol::Udp, net::Dir::Recv, 1000), 2_us + 500_ns);
+}
+
+TEST(Network, StatsCountTraffic)
+{
+    sim::Simulator s;
+    net::Network nw(s);
+    auto &a = nw.addNic("a");
+    auto &b = nw.addNic("b");
+    b.bind(Protocol::Udp, 7);
+    auto sender = [&]() -> sim::Task {
+        for (int i = 0; i < 3; ++i)
+            co_await a.send(makeMsg({a.node(), 9}, {b.node(), 7}, 100));
+    };
+    sim::spawn(s, sender());
+    s.run();
+    EXPECT_EQ(a.stats().counterValue("tx_msgs"), 3u);
+    EXPECT_EQ(a.stats().counterValue("tx_bytes"), 300u);
+    EXPECT_EQ(b.stats().counterValue("rx_msgs"), 3u);
+    EXPECT_EQ(nw.stats().counterValue("routed"), 3u);
+}
+
+TEST(Network, LossInjectionDropsDeterministically)
+{
+    auto run = [](double rate) {
+        sim::Simulator s;
+        net::NetworkConfig cfg;
+        cfg.lossRate = rate;
+        cfg.lossSeed = 77;
+        net::Network nw(s, cfg);
+        auto &a = nw.addNic("a");
+        auto &b = nw.addNic("b");
+        auto &ep = b.bind(Protocol::Udp, 7);
+        auto sender = [&]() -> sim::Task {
+            for (int i = 0; i < 1000; ++i)
+                co_await a.send(makeMsg({a.node(), 9}, {b.node(), 7},
+                                        64));
+        };
+        sim::spawn(s, sender());
+        s.run();
+        return std::pair<std::size_t, std::uint64_t>{
+            ep.backlog(), nw.stats().counterValue("dropped_in_fabric")};
+    };
+    auto [delivered0, dropped0] = run(0.0);
+    EXPECT_EQ(delivered0, 1000u);
+    EXPECT_EQ(dropped0, 0u);
+
+    auto [delivered, dropped] = run(0.3);
+    EXPECT_EQ(delivered + dropped, 1000u);
+    EXPECT_NEAR(static_cast<double>(dropped), 300.0, 60.0);
+
+    // Determinism: same seed, same loss pattern.
+    auto [d2, x2] = run(0.3);
+    EXPECT_EQ(d2, delivered);
+    EXPECT_EQ(x2, dropped);
+}

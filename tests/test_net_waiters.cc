@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Tests for the endpoint arrival-waiter machinery (the event-driven
+ * receive-with-timeout used by load generators and the backend
+ * listener): no double resume, exact timeout behaviour, fairness.
+ */
+
+#include <gtest/gtest.h>
+
+#include "net/network.hh"
+#include "sim/simulator.hh"
+#include "sim/task.hh"
+#include "workload/loadgen.hh"
+
+using namespace lynx;
+using namespace lynx::sim::literals;
+
+namespace {
+
+struct Rig
+{
+    sim::Simulator s;
+    net::Network nw{s};
+    net::Nic &a = nw.addNic("a");
+    net::Nic &b = nw.addNic("b");
+    net::Endpoint &ep = b.bind(net::Protocol::Udp, 7);
+
+    sim::Task
+    sendAt(sim::Tick when, int marker)
+    {
+        co_await sim::sleep(when);
+        net::Message m;
+        m.src = {a.node(), 1};
+        m.dst = {b.node(), 7};
+        m.proto = net::Protocol::Udp;
+        m.payload = {static_cast<std::uint8_t>(marker)};
+        co_await a.send(std::move(m));
+    }
+};
+
+} // namespace
+
+TEST(RecvTimeout, ReturnsMessageBeforeDeadline)
+{
+    Rig r;
+    sim::spawn(r.s, r.sendAt(50_us, 9));
+    std::optional<net::Message> got;
+    sim::Tick when = 0;
+    auto rx = [&]() -> sim::Task {
+        got = co_await workload::recvTimeout(r.s, r.ep, 1_ms);
+        when = r.s.now();
+    };
+    sim::spawn(r.s, rx());
+    r.s.run();
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->payload[0], 9);
+    // Event-driven: resumes right at arrival, not at a poll boundary.
+    EXPECT_LT(when, 60_us);
+}
+
+TEST(RecvTimeout, TimesOutExactly)
+{
+    Rig r;
+    std::optional<net::Message> got;
+    sim::Tick when = 0;
+    auto rx = [&]() -> sim::Task {
+        got = co_await workload::recvTimeout(r.s, r.ep, 250_us);
+        when = r.s.now();
+    };
+    sim::spawn(r.s, rx());
+    r.s.run();
+    EXPECT_FALSE(got.has_value());
+    EXPECT_EQ(when, 250_us);
+}
+
+TEST(RecvTimeout, LateMessageAfterTimeoutStaysQueued)
+{
+    Rig r;
+    sim::spawn(r.s, r.sendAt(400_us, 5));
+    std::optional<net::Message> first, second;
+    auto rx = [&]() -> sim::Task {
+        first = co_await workload::recvTimeout(r.s, r.ep, 100_us);
+        second = co_await workload::recvTimeout(r.s, r.ep, 1_ms);
+    };
+    sim::spawn(r.s, rx());
+    r.s.run();
+    EXPECT_FALSE(first.has_value());
+    ASSERT_TRUE(second.has_value());
+    EXPECT_EQ(second->payload[0], 5);
+}
+
+TEST(RecvTimeout, StaleTimerAfterArrivalDoesNotDoubleResume)
+{
+    // Arrival at 10us, timeout armed for 100us: the late timer event
+    // must find the waiter already fired and do nothing.
+    Rig r;
+    sim::spawn(r.s, r.sendAt(10_us, 1));
+    int resumes = 0;
+    auto rx = [&]() -> sim::Task {
+        auto m = co_await workload::recvTimeout(r.s, r.ep, 100_us);
+        ++resumes;
+        EXPECT_TRUE(m.has_value());
+        // Park past the stale timer's firing point.
+        co_await sim::sleep(500_us);
+    };
+    sim::spawn(r.s, rx());
+    r.s.run();
+    EXPECT_EQ(resumes, 1);
+}
+
+TEST(RecvTimeout, CompetingReceiversEachGetOneMessage)
+{
+    Rig r;
+    sim::spawn(r.s, r.sendAt(10_us, 1));
+    sim::spawn(r.s, r.sendAt(20_us, 2));
+    int got = 0, timeouts = 0;
+    auto rx = [&]() -> sim::Task {
+        auto m = co_await workload::recvTimeout(r.s, r.ep, 1_ms);
+        (m ? got : timeouts)++;
+    };
+    sim::spawn(r.s, rx());
+    sim::spawn(r.s, rx());
+    r.s.run();
+    EXPECT_EQ(got, 2);
+    EXPECT_EQ(timeouts, 0);
+}
+
+TEST(RecvTimeout, ImmediateWhenMessageAlreadyQueued)
+{
+    Rig r;
+    sim::spawn(r.s, r.sendAt(0, 7));
+    r.s.run(); // message is now sitting in the endpoint queue
+    std::optional<net::Message> got;
+    sim::Tick when = sim::maxTick;
+    auto rx = [&]() -> sim::Task {
+        sim::Tick t0 = r.s.now();
+        got = co_await workload::recvTimeout(r.s, r.ep, 1_ms);
+        when = r.s.now() - t0;
+    };
+    sim::spawn(r.s, rx());
+    r.s.run();
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(when, 0u);
+}

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Tests for DeviceMemory (bounds, word helpers, watchpoints) and the
+ * PCIe fabric cost model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "pcie/fabric.hh"
+#include "pcie/memory.hh"
+#include "sim/simulator.hh"
+#include "sim/task.hh"
+
+using namespace lynx;
+using namespace lynx::sim::literals;
+
+TEST(DeviceMemory, WriteReadRoundTrip)
+{
+    pcie::DeviceMemory mem("gpu0", 1024);
+    std::vector<std::uint8_t> data{1, 2, 3, 4, 5};
+    mem.write(100, data);
+    std::vector<std::uint8_t> out(5);
+    mem.read(100, out);
+    EXPECT_EQ(out, data);
+}
+
+TEST(DeviceMemory, FreshMemoryIsZeroed)
+{
+    pcie::DeviceMemory mem("gpu0", 64);
+    std::vector<std::uint8_t> out(64);
+    mem.read(0, out);
+    for (auto b : out)
+        EXPECT_EQ(b, 0);
+}
+
+TEST(DeviceMemory, WordHelpersAreLittleEndian)
+{
+    pcie::DeviceMemory mem("gpu0", 64);
+    mem.writeU32(0, 0x01020304u);
+    std::uint8_t b[4];
+    mem.read(0, b);
+    EXPECT_EQ(b[0], 0x04);
+    EXPECT_EQ(b[3], 0x01);
+    EXPECT_EQ(mem.readU32(0), 0x01020304u);
+
+    mem.writeU64(8, 0x1122334455667788ull);
+    EXPECT_EQ(mem.readU64(8), 0x1122334455667788ull);
+}
+
+TEST(DeviceMemory, ViewExposesWrittenBytes)
+{
+    pcie::DeviceMemory mem("gpu0", 32);
+    std::vector<std::uint8_t> data{9, 8, 7};
+    mem.write(4, data);
+    auto v = mem.view(4, 3);
+    EXPECT_EQ(v[0], 9);
+    EXPECT_EQ(v[2], 7);
+}
+
+TEST(DeviceMemoryDeath, OutOfBoundsAccessPanics)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    pcie::DeviceMemory mem("gpu0", 16);
+    std::vector<std::uint8_t> big(17);
+    EXPECT_DEATH(mem.write(0, big), "out of bounds");
+    EXPECT_DEATH(mem.write(16, std::vector<std::uint8_t>{1}),
+                 "out of bounds");
+    std::vector<std::uint8_t> out(1);
+    EXPECT_DEATH(mem.read(16, out), "out of bounds");
+}
+
+TEST(DeviceMemory, WatchpointFiresOnOverlappingWrite)
+{
+    pcie::DeviceMemory mem("gpu0", 128);
+    int hits = 0;
+    std::uint64_t lastOff = 0, lastLen = 0;
+    mem.watch(10, 4, [&](std::uint64_t off, std::uint64_t len) {
+        ++hits;
+        lastOff = off;
+        lastLen = len;
+    });
+
+    mem.write(0, std::vector<std::uint8_t>(10)); // [0,10): no overlap
+    EXPECT_EQ(hits, 0);
+    mem.write(8, std::vector<std::uint8_t>(4)); // [8,12): overlaps
+    EXPECT_EQ(hits, 1);
+    EXPECT_EQ(lastOff, 8u);
+    EXPECT_EQ(lastLen, 4u);
+    mem.write(14, std::vector<std::uint8_t>(4)); // [14,18): next to it
+    EXPECT_EQ(hits, 1);
+    mem.writeU32(10, 7); // exact
+    EXPECT_EQ(hits, 2);
+}
+
+TEST(DeviceMemory, UnwatchStopsNotifications)
+{
+    pcie::DeviceMemory mem("gpu0", 64);
+    int hits = 0;
+    auto id = mem.watch(0, 64, [&](auto, auto) { ++hits; });
+    mem.writeU32(0, 1);
+    EXPECT_EQ(hits, 1);
+    mem.unwatch(id);
+    mem.writeU32(0, 2);
+    EXPECT_EQ(hits, 1);
+}
+
+TEST(DeviceMemory, WatcherMayRegisterAnotherWatcher)
+{
+    pcie::DeviceMemory mem("gpu0", 64);
+    int hits = 0;
+    mem.watch(0, 4, [&](auto, auto) {
+        ++hits;
+        mem.watch(4, 4, [&](auto, auto) { ++hits; });
+    });
+    mem.writeU32(0, 1); // fires first watcher, registers second
+    EXPECT_EQ(hits, 1);
+    mem.writeU32(4, 1);
+    EXPECT_GE(hits, 2);
+}
+
+TEST(Fabric, DmaTimeIncludesLatencyAndSerialization)
+{
+    sim::Simulator s;
+    pcie::FabricConfig cfg;
+    cfg.dmaLatency = 900_ns;
+    cfg.gbps = 50.0;
+    pcie::Fabric fab(s, "host0", cfg);
+    // 1000 bytes at 50 Gbps = 160 ns.
+    EXPECT_EQ(fab.dmaTime(1000), 900_ns + 160_ns);
+    EXPECT_EQ(fab.serialization(0), 0u);
+}
+
+TEST(Fabric, DmaAwaitsTransferTime)
+{
+    sim::Simulator s;
+    pcie::Fabric fab(s, "host0");
+    sim::Tick done = 0;
+    auto body = [&]() -> sim::Task {
+        co_await fab.dma(1000);
+        done = s.now();
+    };
+    sim::spawn(s, body());
+    s.run();
+    EXPECT_EQ(done, fab.dmaTime(1000));
+}
+
+TEST(Fabric, MmioChargesRoundTrip)
+{
+    sim::Simulator s;
+    pcie::FabricConfig cfg;
+    cfg.mmioLatency = 800_ns;
+    pcie::Fabric fab(s, "host0", cfg);
+    sim::Tick done = 0;
+    auto body = [&]() -> sim::Task {
+        co_await fab.mmio();
+        co_await fab.mmio();
+        done = s.now();
+    };
+    sim::spawn(s, body());
+    s.run();
+    EXPECT_EQ(done, 1600_ns);
+}

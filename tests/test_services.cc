@@ -1,0 +1,340 @@
+/**
+ * @file
+ * Integration tests of the paper's application services running on
+ * the full Lynx stack: LeNet inference (persistent kernel + dynamic
+ * parallelism) and Face Verification (multi-tier with a KV backend),
+ * each validated against locally computed ground truth.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "accel/gpu.hh"
+#include "apps/gpu_services.hh"
+#include "baseline/host_server.hh"
+#include "host/node.hh"
+#include "lynx/runtime.hh"
+#include "net/network.hh"
+#include "snic/bluefield.hh"
+#include "sim/simulator.hh"
+#include "workload/datagen.hh"
+#include "workload/loadgen.hh"
+
+using namespace lynx;
+using namespace lynx::sim::literals;
+
+TEST(LenetService, ClassifiesLikeTheReferenceModel)
+{
+    sim::Simulator s;
+    net::Network nw(s);
+    snic::Bluefield bf(s, nw, "bf0");
+    auto &clientNic = nw.addNic("client");
+    pcie::Fabric fabric(s, "pcie");
+    accel::Gpu gpu(s, "k40m", fabric);
+    apps::LeNet net;
+
+    core::Runtime rt(s, bf.lynxRuntimeConfig());
+    auto &accel = rt.addAccelerator("k40m", gpu.memory(),
+                                    rdma::RdmaPathModel{});
+    core::ServiceConfig scfg;
+    scfg.name = "lenet";
+    scfg.port = 7000;
+    auto &svc = rt.addService(scfg);
+    auto queues = rt.makeAccelQueues(svc, accel);
+    sim::spawn(s, apps::runLenetServer(gpu, *queues[0], net));
+    rt.start();
+
+    auto &cliEp = clientNic.bind(net::Protocol::Udp, 40000);
+    int checked = 0;
+    auto client = [&]() -> sim::Task {
+        for (int d = 0; d < 10; ++d) {
+            auto img = workload::synthMnist(d, 3);
+            int expect = net.classify(img);
+            net::Message m;
+            m.src = {clientNic.node(), 40000};
+            m.dst = {bf.node(), 7000};
+            m.proto = net::Protocol::Udp;
+            m.payload = img;
+            m.sentAt = s.now();
+            co_await clientNic.send(std::move(m));
+            net::Message r = co_await cliEp.recv();
+            EXPECT_EQ(r.payload.size(), 1u);
+            EXPECT_EQ(r.payload[0], expect) << "digit " << d;
+            ++checked;
+        }
+    };
+    sim::spawn(s, client());
+    s.run();
+    EXPECT_EQ(checked, 10);
+    // 7 child kernels per request via dynamic parallelism.
+    EXPECT_EQ(gpu.stats().counterValue("device_launches"), 70u);
+}
+
+TEST(LenetService, PerRequestTimeMatchesCalibration)
+{
+    sim::Simulator s;
+    net::Network nw(s);
+    snic::Bluefield bf(s, nw, "bf0");
+    auto &clientNic = nw.addNic("client");
+    pcie::Fabric fabric(s, "pcie");
+    accel::Gpu gpu(s, "k40m", fabric);
+    apps::LeNet net;
+
+    core::Runtime rt(s, bf.lynxRuntimeConfig());
+    auto &accel = rt.addAccelerator("k40m", gpu.memory(),
+                                    rdma::RdmaPathModel{});
+    core::ServiceConfig scfg;
+    scfg.port = 7000;
+    auto &svc = rt.addService(scfg);
+    auto queues = rt.makeAccelQueues(svc, accel);
+    sim::spawn(s, apps::runLenetServer(gpu, *queues[0], net));
+    rt.start();
+
+    workload::LoadGenConfig lg;
+    lg.nic = &clientNic;
+    lg.target = {bf.node(), 7000};
+    lg.concurrency = 1;
+    lg.warmup = 5_ms;
+    lg.duration = 100_ms;
+    lg.makeRequest = [](std::uint64_t seq, sim::Rng &) {
+        return workload::synthMnist(static_cast<int>(seq % 10), seq);
+    };
+    workload::LoadGen gen(s, lg);
+    gen.start();
+    s.runUntil(gen.windowEnd() + 5_ms);
+
+    // ~278 us of GPU compute + launches + I/O: the paper reports
+    // ~300 us latency and 3.5 Kreq/s on Bluefield (§6.3).
+    double p50us = sim::toMicroseconds(gen.latency().percentile(50));
+    EXPECT_GT(p50us, 280.0);
+    EXPECT_LT(p50us, 330.0);
+    EXPECT_GT(gen.throughputRps(), 3000.0);
+    EXPECT_LT(gen.throughputRps(), 3600.0);
+}
+
+namespace {
+
+/** Everything the Face Verification experiment needs. */
+struct FaceVerRig
+{
+    sim::Simulator s;
+    net::Network nw{s};
+    snic::Bluefield bf{s, nw, "bf0"};
+    net::Nic &clientNic = nw.addNic("client");
+    host::Node dbHost{s, nw, "db-host"};
+    pcie::Fabric fabric{s, "pcie"};
+    accel::Gpu gpu{s, "k40m", fabric};
+    apps::KvStore kv;
+    std::unique_ptr<apps::KvServer> kvServer;
+
+    static constexpr int persons = 16;
+
+    FaceVerRig()
+    {
+        apps::KvServerConfig kcfg;
+        kcfg.nic = &dbHost.nic();
+        kcfg.proto = net::Protocol::Tcp;
+        kcfg.stack = calibration::vmaXeon();
+        kcfg.cores = {&dbHost.cores()[0]};
+        kcfg.opCost = calibration::memcachedOpCostXeon;
+        kvServer = std::make_unique<apps::KvServer>(s, kv, kcfg);
+        kvServer->start();
+        for (std::uint32_t p = 0; p < persons; ++p)
+            kv.set(workload::faceLabel(p), workload::synthFace(p, 0));
+    }
+
+    /** Build a request probing @p probePerson against the enrolled
+     *  image of @p claimPerson. */
+    std::vector<std::uint8_t>
+    request(std::uint32_t claimPerson, std::uint32_t probePerson,
+            std::uint64_t variant) const
+    {
+        std::string label = workload::faceLabel(claimPerson);
+        auto img = workload::synthFace(probePerson, variant);
+        std::vector<std::uint8_t> req(label.begin(), label.end());
+        req.insert(req.end(), img.begin(), img.end());
+        return req;
+    }
+
+    apps::FaceVerResult
+    expected(const std::vector<std::uint8_t> &req) const
+    {
+        std::string label(req.begin(),
+                          req.begin() + apps::faceVerLabelBytes);
+        return apps::faceVerDecide(req, kv.get(label));
+    }
+};
+
+} // namespace
+
+TEST(FaceVerService, MultiTierLynxMatchesGroundTruth)
+{
+    FaceVerRig r;
+    core::Runtime rt(r.s, r.bf.lynxRuntimeConfig());
+    auto &accel = rt.addAccelerator("k40m", r.gpu.memory(),
+                                    rdma::RdmaPathModel{});
+    core::ServiceConfig scfg;
+    scfg.name = "facever";
+    scfg.port = 7100;
+    scfg.queuesPerAccel = 4; // scaled-down version of the paper's 28
+    scfg.slotBytes = 2048;
+    auto &svc = rt.addService(scfg);
+    auto serverQs = rt.makeAccelQueues(svc, accel);
+
+    std::vector<std::unique_ptr<core::AccelQueue>> dbQs;
+    for (int i = 0; i < 4; ++i) {
+        auto cq = rt.addClientQueue(accel, "db" + std::to_string(i),
+                                    {r.dbHost.id(), 11211},
+                                    net::Protocol::Tcp);
+        dbQs.push_back(rt.makeAccelQueue(cq));
+        sim::spawn(r.s, apps::runFaceVerWorker(r.gpu, *serverQs[i],
+                                               *dbQs[i]));
+    }
+    rt.start();
+
+    auto &cliEp = r.clientNic.bind(net::Protocol::Udp, 40000);
+    int checked = 0;
+    auto client = [&]() -> sim::Task {
+        for (std::uint32_t i = 0; i < 24; ++i) {
+            // Mix genuine probes, impostors, and unknown labels.
+            std::uint32_t claim = i % FaceVerRig::persons;
+            std::uint32_t probe =
+                (i % 3 == 0) ? claim : (claim + 1) % FaceVerRig::persons;
+            auto req = (i % 5 == 4)
+                           ? r.request(200 + i, probe, i) // unknown
+                           : r.request(claim, probe, i);
+            auto expect = r.expected(req);
+            net::Message m;
+            m.src = {r.clientNic.node(), 40000};
+            m.dst = {r.bf.node(), 7100};
+            m.proto = net::Protocol::Udp;
+            m.payload = req;
+            co_await r.clientNic.send(std::move(m));
+            net::Message resp = co_await cliEp.recv();
+            EXPECT_EQ(resp.payload.size(), 1u);
+            EXPECT_EQ(resp.payload[0], static_cast<std::uint8_t>(expect))
+                << "request " << i;
+            ++checked;
+        }
+    };
+    sim::spawn(r.s, client());
+    r.s.run();
+    EXPECT_EQ(checked, 24);
+}
+
+TEST(FaceVerService, HostCentricBaselineMatchesGroundTruth)
+{
+    FaceVerRig r;
+    host::Node serverHost(r.s, r.nw, "gpu-host");
+    accel::GpuDriver driver(r.s, r.gpu);
+
+    baseline::HostServerConfig cfg;
+    cfg.nic = &serverHost.nic();
+    cfg.port = 7100;
+    cfg.stack = calibration::vmaXeon();
+    cfg.cores = {&serverHost.cores()[0], &serverHost.cores()[1]};
+    cfg.streams = 28;
+    baseline::HostCentricServer server(
+        r.s, driver, cfg,
+        apps::hostFaceVerHandler(r.s, serverHost.nic(),
+                                 {r.dbHost.id(), 11211},
+                                 calibration::vmaXeon()));
+    server.start();
+
+    auto &cliEp = r.clientNic.bind(net::Protocol::Udp, 40000);
+    int checked = 0;
+    auto client = [&]() -> sim::Task {
+        for (std::uint32_t i = 0; i < 12; ++i) {
+            std::uint32_t claim = i % FaceVerRig::persons;
+            std::uint32_t probe = (i % 2) ? claim : claim + 1;
+            auto req = r.request(claim, probe % FaceVerRig::persons, i);
+            auto expect = r.expected(req);
+            net::Message m;
+            m.src = {r.clientNic.node(), 40000};
+            m.dst = {serverHost.id(), 7100};
+            m.proto = net::Protocol::Udp;
+            m.payload = req;
+            co_await r.clientNic.send(std::move(m));
+            net::Message resp = co_await cliEp.recv();
+            EXPECT_EQ(resp.payload[0], static_cast<std::uint8_t>(expect))
+                << "request " << i;
+            ++checked;
+        }
+    };
+    sim::spawn(r.s, client());
+    r.s.run();
+    EXPECT_EQ(checked, 12);
+}
+
+TEST(EchoBlockService, EmulatedProcessingTimeIsCharged)
+{
+    sim::Simulator s;
+    net::Network nw(s);
+    snic::Bluefield bf(s, nw, "bf0");
+    auto &clientNic = nw.addNic("client");
+    pcie::Fabric fabric(s, "pcie");
+    accel::Gpu gpu(s, "k40m", fabric);
+
+    core::Runtime rt(s, bf.lynxRuntimeConfig());
+    auto &accel = rt.addAccelerator("k40m", gpu.memory(),
+                                    rdma::RdmaPathModel{});
+    core::ServiceConfig scfg;
+    scfg.port = 7000;
+    auto &svc = rt.addService(scfg);
+    auto queues = rt.makeAccelQueues(svc, accel);
+    sim::spawn(s, apps::runEchoBlock(gpu, *queues[0], 200_us));
+    rt.start();
+    // The persistent block holds one slot.
+    s.runUntil(1_ms);
+    EXPECT_EQ(gpu.slots().free(), gpu.config().blockSlots - 1);
+
+    workload::LoadGenConfig lg;
+    lg.nic = &clientNic;
+    lg.target = {bf.node(), 7000};
+    lg.warmup = 2_ms;
+    lg.duration = 50_ms;
+    workload::LoadGen gen(s, lg);
+    gen.start();
+    s.runUntil(gen.windowEnd() + 2_ms);
+    double p50us = sim::toMicroseconds(gen.latency().percentile(50));
+    EXPECT_GT(p50us, 215.0);
+    EXPECT_LT(p50us, 245.0);
+}
+
+TEST(VectorScaleService, MultipliesVectors)
+{
+    sim::Simulator s;
+    net::Network nw(s);
+    snic::Bluefield bf(s, nw, "bf0");
+    auto &clientNic = nw.addNic("client");
+    pcie::Fabric fabric(s, "pcie");
+    accel::Gpu gpu(s, "k40m", fabric);
+
+    core::Runtime rt(s, bf.lynxRuntimeConfig());
+    auto &accel = rt.addAccelerator("k40m", gpu.memory(),
+                                    rdma::RdmaPathModel{});
+    core::ServiceConfig scfg;
+    scfg.port = 7000;
+    auto &svc = rt.addService(scfg);
+    auto queues = rt.makeAccelQueues(svc, accel);
+    sim::spawn(s, apps::runVectorScaleBlock(gpu, *queues[0], 3, 10_us));
+    rt.start();
+
+    auto &cliEp = clientNic.bind(net::Protocol::Udp, 40000);
+    std::vector<std::uint8_t> got;
+    auto client = [&]() -> sim::Task {
+        net::Message m;
+        m.src = {clientNic.node(), 40000};
+        m.dst = {bf.node(), 7000};
+        m.proto = net::Protocol::Udp;
+        m.payload = {5, 0, 0, 0, 2, 1, 0, 0}; // [5, 258]
+        co_await clientNic.send(std::move(m));
+        net::Message r = co_await cliEp.recv();
+        got = r.payload;
+    };
+    sim::spawn(s, client());
+    s.run();
+    // [15, 774]
+    EXPECT_EQ(got, (std::vector<std::uint8_t>{15, 0, 0, 0, 6, 3, 0, 0}));
+}

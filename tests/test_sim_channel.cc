@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Unit and property tests for Channel: FIFO order, blocking pop,
+ * bounded-capacity backpressure, and try operations.
+ */
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "sim/channel.hh"
+#include "sim/random.hh"
+#include "sim/simulator.hh"
+#include "sim/task.hh"
+
+using namespace lynx::sim;
+using namespace lynx::sim::literals;
+
+TEST(Channel, TryPushTryPopRoundTrip)
+{
+    Simulator sim;
+    Channel<int> ch(sim);
+    EXPECT_TRUE(ch.empty());
+    EXPECT_TRUE(ch.tryPush(7));
+    EXPECT_EQ(ch.size(), 1u);
+    auto v = ch.tryPop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, 7);
+    EXPECT_FALSE(ch.tryPop().has_value());
+}
+
+TEST(Channel, PopSuspendsUntilPush)
+{
+    Simulator sim;
+    Channel<int> ch(sim);
+    int got = 0;
+    Tick when = 0;
+    auto consumer = [&]() -> Task {
+        got = co_await ch.pop();
+        when = sim.now();
+    };
+    auto producer = [&]() -> Task {
+        co_await sleep(25_us);
+        co_await ch.push(99);
+    };
+    spawn(sim, consumer());
+    spawn(sim, producer());
+    sim.run();
+    EXPECT_EQ(got, 99);
+    EXPECT_EQ(when, 25_us);
+}
+
+TEST(Channel, FifoOrderAcrossManyItems)
+{
+    Simulator sim;
+    Channel<int> ch(sim);
+    std::vector<int> got;
+    auto consumer = [&]() -> Task {
+        for (int i = 0; i < 50; ++i)
+            got.push_back(co_await ch.pop());
+    };
+    auto producer = [&]() -> Task {
+        for (int i = 0; i < 50; ++i) {
+            co_await ch.push(i);
+            if (i % 7 == 0)
+                co_await sleep(1_us);
+        }
+    };
+    spawn(sim, consumer());
+    spawn(sim, producer());
+    sim.run();
+    ASSERT_EQ(got.size(), 50u);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(got[i], i);
+}
+
+TEST(Channel, MultipleConsumersServedFifo)
+{
+    Simulator sim;
+    Channel<int> ch(sim);
+    std::vector<std::pair<int, int>> got; // (consumer, value)
+    auto consumer = [&](int id) -> Task {
+        int v = co_await ch.pop();
+        got.emplace_back(id, v);
+    };
+    spawn(sim, consumer(0));
+    spawn(sim, consumer(1));
+    spawn(sim, consumer(2));
+    auto producer = [&]() -> Task {
+        co_await sleep(1_us);
+        co_await ch.push(10);
+        co_await ch.push(11);
+        co_await ch.push(12);
+    };
+    spawn(sim, producer());
+    sim.run();
+    ASSERT_EQ(got.size(), 3u);
+    // Longest-waiting consumer gets the first item.
+    EXPECT_EQ(got[0], (std::pair<int, int>{0, 10}));
+    EXPECT_EQ(got[1], (std::pair<int, int>{1, 11}));
+    EXPECT_EQ(got[2], (std::pair<int, int>{2, 12}));
+}
+
+TEST(Channel, BoundedCapacityBlocksProducer)
+{
+    Simulator sim;
+    Channel<int> ch(sim, 2);
+    Tick thirdPushDone = 0;
+    auto producer = [&]() -> Task {
+        co_await ch.push(1);
+        co_await ch.push(2);
+        co_await ch.push(3); // must block until a pop frees space
+        thirdPushDone = sim.now();
+    };
+    auto consumer = [&]() -> Task {
+        co_await sleep(100_us);
+        (void)co_await ch.pop();
+    };
+    spawn(sim, producer());
+    spawn(sim, consumer());
+    sim.run();
+    EXPECT_EQ(thirdPushDone, 100_us);
+    EXPECT_EQ(ch.size(), 2u);
+}
+
+TEST(Channel, TryPushFailsWhenFull)
+{
+    Simulator sim;
+    Channel<int> ch(sim, 1);
+    EXPECT_TRUE(ch.tryPush(1));
+    EXPECT_FALSE(ch.tryPush(2));
+    EXPECT_EQ(ch.tryPop().value(), 1);
+    EXPECT_TRUE(ch.tryPush(2));
+}
+
+TEST(Channel, MovesNonCopyableItems)
+{
+    Simulator sim;
+    Channel<std::unique_ptr<int>> ch(sim);
+    int got = 0;
+    auto consumer = [&]() -> Task {
+        auto p = co_await ch.pop();
+        got = *p;
+    };
+    auto producer = [&]() -> Task {
+        co_await ch.push(std::make_unique<int>(31));
+    };
+    spawn(sim, consumer());
+    spawn(sim, producer());
+    sim.run();
+    EXPECT_EQ(got, 31);
+}
+
+/**
+ * Property: for random interleavings of producers/consumers, every
+ * pushed item is popped exactly once and per-producer order holds.
+ */
+class ChannelProperty : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(ChannelProperty, NoLossNoDuplicationUnderRandomSchedules)
+{
+    Simulator sim;
+    Rng rng(GetParam());
+    const std::size_t cap = 1 + rng.below(8);
+    Channel<std::pair<int, int>> ch(sim, cap);
+    const int producers = 1 + static_cast<int>(rng.below(4));
+    const int itemsEach = 20;
+
+    std::vector<std::vector<int>> seen(producers);
+    auto producer = [&](int id, std::uint64_t seed) -> Task {
+        Rng r(seed);
+        for (int i = 0; i < itemsEach; ++i) {
+            co_await ch.push({id, i});
+            if (r.chance(0.5))
+                co_await sleep(r.between(1, 20) * 1_us);
+        }
+    };
+    auto consumer = [&](std::uint64_t seed) -> Task {
+        Rng r(seed);
+        for (int i = 0; i < producers * itemsEach; ++i) {
+            auto [id, v] = co_await ch.pop();
+            seen[id].push_back(v);
+            if (r.chance(0.3))
+                co_await sleep(r.between(1, 10) * 1_us);
+        }
+    };
+    for (int p = 0; p < producers; ++p)
+        spawn(sim, producer(p, GetParam() * 31 + p));
+    spawn(sim, consumer(GetParam() * 17 + 1));
+    sim.run();
+
+    for (int p = 0; p < producers; ++p) {
+        ASSERT_EQ(seen[p].size(), static_cast<std::size_t>(itemsEach));
+        for (int i = 0; i < itemsEach; ++i)
+            EXPECT_EQ(seen[p][i], i) << "producer " << p;
+    }
+    EXPECT_TRUE(ch.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChannelProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Tests for the deterministic RNG: reproducibility, range containment,
+ * and rough distribution shape.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/random.hh"
+
+using namespace lynx::sim;
+
+TEST(Rng, SameSeedSameSequence)
+{
+    Rng a(12345), b(12345);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng rng(99);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, BetweenIsInclusive)
+{
+    Rng rng(7);
+    bool sawLo = false, sawHi = false;
+    for (int i = 0; i < 10000; ++i) {
+        auto v = rng.between(3, 8);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 8u);
+        sawLo |= (v == 3);
+        sawHi |= (v == 8);
+    }
+    EXPECT_TRUE(sawLo);
+    EXPECT_TRUE(sawHi);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(55);
+    double sum = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, ExponentialHasRequestedMean)
+{
+    Rng rng(1234);
+    double sum = 0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.exponential(250.0);
+    EXPECT_NEAR(sum / n, 250.0, 5.0);
+}
+
+TEST(Rng, ChanceMatchesProbability)
+{
+    Rng rng(777);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.chance(0.2);
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.2, 0.01);
+}
+
+TEST(RngDeath, BelowZeroRangePanics)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    Rng rng(1);
+    EXPECT_DEATH(rng.below(0), "empty range");
+}

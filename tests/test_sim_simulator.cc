@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Unit tests for the event calendar and simulated clock.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.hh"
+#include "sim/time.hh"
+
+using namespace lynx::sim;
+using namespace lynx::sim::literals;
+
+TEST(Simulator, StartsAtTimeZero)
+{
+    Simulator sim;
+    EXPECT_EQ(sim.now(), 0u);
+    EXPECT_EQ(sim.eventsExecuted(), 0u);
+}
+
+TEST(Simulator, RunsEventsInTimeOrder)
+{
+    Simulator sim;
+    std::vector<int> order;
+    sim.schedule(30_ns, [&] { order.push_back(3); });
+    sim.schedule(10_ns, [&] { order.push_back(1); });
+    sim.schedule(20_ns, [&] { order.push_back(2); });
+    sim.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(sim.now(), 30_ns);
+}
+
+TEST(Simulator, EqualTimestampsFireInFifoOrder)
+{
+    Simulator sim;
+    std::vector<int> order;
+    for (int i = 0; i < 100; ++i)
+        sim.schedule(5_us, [&order, i] { order.push_back(i); });
+    sim.run();
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulator, HandlersMayScheduleMoreEvents)
+{
+    Simulator sim;
+    int fired = 0;
+    std::function<void()> chain = [&] {
+        ++fired;
+        if (fired < 5)
+            sim.scheduleIn(1_us, chain);
+    };
+    sim.scheduleIn(1_us, chain);
+    sim.run();
+    EXPECT_EQ(fired, 5);
+    EXPECT_EQ(sim.now(), 5_us);
+}
+
+TEST(Simulator, ClockAdvancesToEventTime)
+{
+    Simulator sim;
+    Tick seen = 0;
+    sim.schedule(123_us, [&] { seen = sim.now(); });
+    sim.run();
+    EXPECT_EQ(seen, 123_us);
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline)
+{
+    Simulator sim;
+    int fired = 0;
+    sim.schedule(10_us, [&] { ++fired; });
+    sim.schedule(20_us, [&] { ++fired; });
+    sim.schedule(30_us, [&] { ++fired; });
+    sim.runUntil(20_us);
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(sim.now(), 20_us);
+    sim.run();
+    EXPECT_EQ(fired, 3);
+}
+
+TEST(Simulator, RunUntilAdvancesClockWhenIdle)
+{
+    Simulator sim;
+    sim.runUntil(50_ms);
+    EXPECT_EQ(sim.now(), 50_ms);
+}
+
+TEST(Simulator, StopAbortsTheLoop)
+{
+    Simulator sim;
+    int fired = 0;
+    sim.schedule(1_us, [&] {
+        ++fired;
+        sim.stop();
+    });
+    sim.schedule(2_us, [&] { ++fired; });
+    sim.run();
+    EXPECT_EQ(fired, 1);
+    EXPECT_TRUE(sim.stopped());
+    sim.reset_stop();
+    sim.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, CountsExecutedEvents)
+{
+    Simulator sim;
+    for (int i = 0; i < 17; ++i)
+        sim.schedule(i, [] {});
+    sim.run();
+    EXPECT_EQ(sim.eventsExecuted(), 17u);
+}
+
+TEST(SimulatorDeath, SchedulingIntoThePastPanics)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    Simulator sim;
+    sim.schedule(10_us, [&] {
+        EXPECT_DEATH(sim.schedule(5_us, [] {}), "past");
+    });
+    sim.run();
+}
+
+TEST(TimeLiterals, ConvertCorrectly)
+{
+    EXPECT_EQ(1_us, 1000_ns);
+    EXPECT_EQ(1_ms, 1000_us);
+    EXPECT_EQ(1_s, 1000_ms);
+    EXPECT_DOUBLE_EQ(toMicroseconds(1500_ns), 1.5);
+    EXPECT_DOUBLE_EQ(toMilliseconds(2500_us), 2.5);
+    EXPECT_DOUBLE_EQ(toSeconds(500_ms), 0.5);
+}

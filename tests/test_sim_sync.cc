@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Unit tests for Semaphore, Latch, and Gate.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.hh"
+#include "sim/sync.hh"
+#include "sim/task.hh"
+
+using namespace lynx::sim;
+using namespace lynx::sim::literals;
+
+TEST(Semaphore, AcquireBelowCountDoesNotBlock)
+{
+    Simulator sim;
+    Semaphore sem(sim, 2);
+    Tick done = maxTick;
+    auto body = [&]() -> Task {
+        co_await sem.acquire();
+        co_await sem.acquire();
+        done = sim.now();
+    };
+    spawn(sim, body());
+    sim.run();
+    EXPECT_EQ(done, 0u);
+    EXPECT_EQ(sem.available(), 0u);
+}
+
+TEST(Semaphore, AcquireBlocksUntilRelease)
+{
+    Simulator sim;
+    Semaphore sem(sim, 1);
+    Tick secondAcquired = 0;
+    auto holder = [&]() -> Task {
+        co_await sem.acquire();
+        co_await sleep(50_us);
+        sem.release();
+    };
+    auto waiter = [&]() -> Task {
+        co_await sem.acquire();
+        secondAcquired = sim.now();
+        sem.release();
+    };
+    spawn(sim, holder());
+    spawn(sim, waiter());
+    sim.run();
+    EXPECT_EQ(secondAcquired, 50_us);
+    EXPECT_EQ(sem.available(), 1u);
+}
+
+TEST(Semaphore, FifoHandoff)
+{
+    Simulator sim;
+    Semaphore sem(sim, 0);
+    std::vector<int> order;
+    auto waiter = [&](int id) -> Task {
+        co_await sem.acquire();
+        order.push_back(id);
+    };
+    for (int i = 0; i < 5; ++i)
+        spawn(sim, waiter(i));
+    EXPECT_EQ(sem.waiters(), 5u);
+    for (int i = 0; i < 5; ++i)
+        sem.release();
+    sim.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Semaphore, TryAcquire)
+{
+    Simulator sim;
+    Semaphore sem(sim, 1);
+    EXPECT_TRUE(sem.tryAcquire());
+    EXPECT_FALSE(sem.tryAcquire());
+    sem.release();
+    EXPECT_TRUE(sem.tryAcquire());
+}
+
+TEST(Latch, WaitCompletesWhenCountReachesZero)
+{
+    Simulator sim;
+    Latch latch(sim, 3);
+    Tick done = 0;
+    auto waiter = [&]() -> Task {
+        co_await latch.wait();
+        done = sim.now();
+    };
+    auto worker = [&](Tick d) -> Task {
+        co_await sleep(d);
+        latch.countDown();
+    };
+    spawn(sim, waiter());
+    spawn(sim, worker(10_us));
+    spawn(sim, worker(20_us));
+    spawn(sim, worker(30_us));
+    sim.run();
+    EXPECT_EQ(done, 30_us);
+}
+
+TEST(Latch, WaitAfterZeroIsImmediate)
+{
+    Simulator sim;
+    Latch latch(sim, 1);
+    latch.countDown();
+    bool done = false;
+    auto waiter = [&]() -> Task {
+        co_await latch.wait();
+        done = true;
+    };
+    spawn(sim, waiter());
+    EXPECT_TRUE(done); // no suspension needed
+    sim.run();
+}
+
+TEST(Gate, WaitersReleasedOnOpen)
+{
+    Simulator sim;
+    Gate gate(sim);
+    int released = 0;
+    auto waiter = [&]() -> Task {
+        co_await gate.wait();
+        ++released;
+    };
+    spawn(sim, waiter());
+    spawn(sim, waiter());
+    EXPECT_EQ(released, 0);
+    gate.open();
+    sim.run();
+    EXPECT_EQ(released, 2);
+}
+
+TEST(Gate, OpenGatePassesThrough)
+{
+    Simulator sim;
+    Gate gate(sim, true);
+    bool passed = false;
+    auto waiter = [&]() -> Task {
+        co_await gate.wait();
+        passed = true;
+    };
+    spawn(sim, waiter());
+    EXPECT_TRUE(passed);
+    sim.run();
+}
+
+TEST(Gate, CloseBlocksSubsequentWaiters)
+{
+    Simulator sim;
+    Gate gate(sim, true);
+    gate.close();
+    bool passed = false;
+    auto waiter = [&]() -> Task {
+        co_await gate.wait();
+        passed = true;
+    };
+    spawn(sim, waiter());
+    sim.run();
+    EXPECT_FALSE(passed);
+    // Teardown destroys the parked waiter.
+}

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Unit tests for coroutine tasks: spawning, sleeping, joining, and
+ * teardown of never-finishing tasks.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/channel.hh"
+#include "sim/simulator.hh"
+#include "sim/task.hh"
+
+using namespace lynx::sim;
+using namespace lynx::sim::literals;
+
+namespace {
+
+Task
+sleeper(Simulator &sim, Tick d, Tick *woke)
+{
+    co_await sleep(d);
+    *woke = sim.now();
+}
+
+Task
+counter(int *n, int upto, Tick period)
+{
+    for (int i = 0; i < upto; ++i) {
+        co_await sleep(period);
+        ++*n;
+    }
+}
+
+} // namespace
+
+TEST(Task, RunsSynchronouslyUntilFirstSuspend)
+{
+    Simulator sim;
+    bool entered = false;
+    auto body = [&]() -> Task {
+        entered = true;
+        co_await sleep(1_us);
+    };
+    spawn(sim, body());
+    EXPECT_TRUE(entered); // before sim.run()
+    sim.run();
+}
+
+TEST(Task, SleepAdvancesSimTime)
+{
+    Simulator sim;
+    Tick woke = 0;
+    spawn(sim, sleeper(sim, 42_us, &woke));
+    sim.run();
+    EXPECT_EQ(woke, 42_us);
+}
+
+TEST(Task, SequentialSleepsAccumulate)
+{
+    Simulator sim;
+    int n = 0;
+    spawn(sim, counter(&n, 10, 5_us));
+    sim.run();
+    EXPECT_EQ(n, 10);
+    EXPECT_EQ(sim.now(), 50_us);
+}
+
+TEST(Task, ManyTasksInterleaveDeterministically)
+{
+    Simulator sim;
+    std::vector<int> order;
+    auto body = [&](int id, Tick start, Tick period) -> Task {
+        co_await sleep(start);
+        for (int i = 0; i < 3; ++i) {
+            order.push_back(id);
+            co_await sleep(period);
+        }
+    };
+    spawn(sim, body(0, 0_us, 10_us));
+    spawn(sim, body(1, 5_us, 10_us));
+    sim.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 0, 1, 0, 1}));
+}
+
+TEST(Task, JoinWaitsForCompletion)
+{
+    Simulator sim;
+    Tick joinedAt = 0;
+    auto worker = [&]() -> Task { co_await sleep(30_us); };
+    auto parent = [&](Task child) -> Task {
+        co_await child;
+        joinedAt = sim.now();
+    };
+    Task child = spawn(sim, worker());
+    spawn(sim, parent(std::move(child)));
+    sim.run();
+    EXPECT_EQ(joinedAt, 30_us);
+}
+
+TEST(Task, JoinOnFinishedTaskCompletesImmediately)
+{
+    Simulator sim;
+    auto worker = []() -> Task { co_return; };
+    Task child = spawn(sim, worker());
+    sim.run();
+    EXPECT_TRUE(child.done());
+    bool joined = false;
+    auto parent = [&](const Task &c) -> Task {
+        co_await c;
+        joined = true;
+    };
+    spawn(sim, parent(child));
+    sim.run();
+    EXPECT_TRUE(joined);
+}
+
+TEST(Task, DoneReflectsCompletion)
+{
+    Simulator sim;
+    Tick woke = 0;
+    Task t = spawn(sim, sleeper(sim, 5_us, &woke));
+    EXPECT_FALSE(t.done());
+    sim.run();
+    EXPECT_TRUE(t.done());
+}
+
+TEST(Task, CurrentSimulatorAwaitableYieldsOwner)
+{
+    Simulator sim;
+    Simulator *seen = nullptr;
+    auto body = [&]() -> Task {
+        Simulator &s = co_await currentSimulator();
+        seen = &s;
+    };
+    spawn(sim, body());
+    sim.run();
+    EXPECT_EQ(seen, &sim);
+}
+
+TEST(Task, SuspendedTasksAreDestroyedWithSimulator)
+{
+    // A server-style task parked forever on a channel must not leak
+    // or crash when the simulator is torn down.
+    bool destroyed = false;
+    struct Flag
+    {
+        bool *f;
+        ~Flag() { *f = true; }
+    };
+    {
+        Simulator sim;
+        Channel<int> ch(sim);
+        auto body = [&]() -> Task {
+            Flag flag{&destroyed};
+            for (;;)
+                co_await ch.pop(); // never satisfied
+        };
+        spawn(sim, body());
+        sim.run();
+        EXPECT_EQ(sim.liveCoroutines(), 1u);
+        EXPECT_FALSE(destroyed);
+    }
+    EXPECT_TRUE(destroyed);
+}
+
+TEST(Task, LiveCoroutineCountTracksCompletion)
+{
+    Simulator sim;
+    Tick woke = 0;
+    spawn(sim, sleeper(sim, 1_us, &woke));
+    spawn(sim, sleeper(sim, 2_us, &woke));
+    EXPECT_EQ(sim.liveCoroutines(), 2u);
+    sim.run();
+    EXPECT_EQ(sim.liveCoroutines(), 0u);
+}
+
+TEST(Task, UnspawnedTaskIsDestroyedCleanly)
+{
+    // Creating a Task and dropping it without spawn() must free the
+    // suspended frame.
+    auto body = []() -> Task { co_return; };
+    Task t = body();
+    EXPECT_TRUE(t.valid());
+    // destructor runs here
+}
+
+TEST(Task, SpawnInsideTask)
+{
+    Simulator sim;
+    Tick childWoke = 0;
+    auto parent = [&]() -> Task {
+        Simulator &s = co_await currentSimulator();
+        co_await sleep(10_us);
+        spawn(s, sleeper(s, 5_us, &childWoke));
+    };
+    spawn(sim, parent());
+    sim.run();
+    EXPECT_EQ(childWoke, 15_us);
+}

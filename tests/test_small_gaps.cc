@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Small-surface coverage: edge cases of utility APIs not exercised
+ * elsewhere (introspection accessors, boundary values, unbind).
+ */
+
+#include <gtest/gtest.h>
+
+#include "net/network.hh"
+#include "sim/channel.hh"
+#include "sim/histogram.hh"
+#include "sim/random.hh"
+#include "sim/simulator.hh"
+#include "sim/task.hh"
+
+using namespace lynx;
+using namespace lynx::sim::literals;
+
+TEST(ChannelIntrospection, WaitingConsumersCount)
+{
+    sim::Simulator s;
+    sim::Channel<int> ch(s);
+    EXPECT_EQ(ch.waitingConsumers(), 0u);
+    auto consumer = [&]() -> sim::Task { (void)co_await ch.pop(); };
+    sim::spawn(s, consumer());
+    sim::spawn(s, consumer());
+    EXPECT_EQ(ch.waitingConsumers(), 2u);
+    ch.tryPush(1);
+    ch.tryPush(2);
+    s.run();
+    EXPECT_EQ(ch.waitingConsumers(), 0u);
+}
+
+TEST(Histogram, HugeValuesStayOrdered)
+{
+    sim::Histogram h;
+    const std::uint64_t big = 1ull << 62;
+    h.record(big);
+    h.record(1);
+    EXPECT_EQ(h.min(), 1u);
+    EXPECT_EQ(h.max(), big);
+    EXPECT_LE(h.percentile(100), big);
+    EXPECT_GE(h.percentile(100), big - big / 16);
+}
+
+TEST(Histogram, ZeroIsAValidSample)
+{
+    sim::Histogram h;
+    h.record(0, 10);
+    EXPECT_EQ(h.count(), 10u);
+    EXPECT_EQ(h.percentile(50), 0u);
+    EXPECT_EQ(h.max(), 0u);
+}
+
+TEST(Rng, DegenerateRanges)
+{
+    sim::Rng rng(5);
+    EXPECT_EQ(rng.between(7, 7), 7u);
+    EXPECT_EQ(rng.below(1), 0u);
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+}
+
+TEST(Nic, UnbindAllowsRebindAndStopsDelivery)
+{
+    sim::Simulator s;
+    net::Network nw(s);
+    auto &a = nw.addNic("a");
+    auto &b = nw.addNic("b");
+    b.bind(net::Protocol::Udp, 9);
+    b.unbind(net::Protocol::Udp, 9);
+    // Rebinding the same port must work...
+    auto &ep2 = b.bind(net::Protocol::Udp, 9);
+    auto sender = [&]() -> sim::Task {
+        net::Message m;
+        m.src = {a.node(), 1};
+        m.dst = {b.node(), 9};
+        m.proto = net::Protocol::Udp;
+        m.payload = {1};
+        co_await a.send(std::move(m));
+    };
+    sim::spawn(s, sender());
+    s.run();
+    EXPECT_EQ(ep2.backlog(), 1u);
+    // ...and unbinding again redirects traffic to the drop counter.
+    b.unbind(net::Protocol::Udp, 9);
+    sim::spawn(s, sender());
+    s.run();
+    EXPECT_EQ(b.stats().counterValue("rx_no_endpoint"), 1u);
+}
+
+TEST(Network, NicOfReturnsAttachedNics)
+{
+    sim::Simulator s;
+    net::Network nw(s);
+    auto &a = nw.addNic("a");
+    auto &b = nw.addNic("b");
+    EXPECT_EQ(&nw.nicOf(0), &a);
+    EXPECT_EQ(&nw.nicOf(1), &b);
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EXPECT_DEATH(nw.nicOf(9), "unknown node");
+}
+
+TEST(SimulatorEdge, RunOnEmptyCalendarReturnsImmediately)
+{
+    sim::Simulator s;
+    EXPECT_EQ(s.run(), 0u);
+    EXPECT_EQ(s.runUntil(0), 0u);
+}
+
+TEST(SimulatorEdge, StoppedRunUntilDoesNotAdvanceClock)
+{
+    sim::Simulator s;
+    s.schedule(10_us, [&] { s.stop(); });
+    s.schedule(20_us, [] {});
+    s.runUntil(100_us);
+    EXPECT_EQ(s.now(), 10_us); // stop freezes the clock mid-window
+    s.reset_stop();
+    s.runUntil(100_us);
+    EXPECT_EQ(s.now(), 100_us);
+}
+
+#include "sim/trace.hh"
+
+TEST(Trace, CategoriesGateEmission)
+{
+    sim::TraceControl::reset();
+    EXPECT_FALSE(sim::TraceControl::enabled("mqueue"));
+    sim::TraceControl::enable("mqueue");
+    EXPECT_TRUE(sim::TraceControl::enabled("mqueue"));
+    EXPECT_FALSE(sim::TraceControl::enabled("rdma"));
+    sim::TraceControl::enable("all");
+    EXPECT_TRUE(sim::TraceControl::enabled("rdma"));
+    sim::TraceControl::disable("all");
+    sim::TraceControl::disable("mqueue");
+    EXPECT_FALSE(sim::TraceControl::enabled("mqueue"));
+    sim::TraceControl::reset();
+}
+
+TEST(Trace, MacroEvaluatesLazily)
+{
+    // The message expression must not run for disabled categories.
+    sim::TraceControl::reset();
+    sim::Simulator s;
+    int evaluations = 0;
+    auto cost = [&] {
+        ++evaluations;
+        return 1;
+    };
+    LYNX_TRACE(s, "never-enabled", "x=", cost());
+    EXPECT_EQ(evaluations, 0);
+    sim::TraceControl::enable("now-enabled");
+    LYNX_TRACE(s, "now-enabled", "x=", cost());
+    EXPECT_EQ(evaluations, 1);
+    sim::TraceControl::reset();
+}

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Tests for the SNIC platforms: Bluefield placement of the Lynx
+ * runtime (multi-homed node, ARM cost profile) and the Innova AFU
+ * receive pipeline rate.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "lynx/gio.hh"
+#include "lynx/runtime.hh"
+#include "net/network.hh"
+#include "rdma/qp.hh"
+#include "snic/bluefield.hh"
+#include "snic/innova.hh"
+#include "sim/simulator.hh"
+#include "sim/task.hh"
+#include "workload/loadgen.hh"
+
+using namespace lynx;
+using namespace lynx::sim::literals;
+
+TEST(Bluefield, IsItsOwnNetworkNode)
+{
+    sim::Simulator s;
+    net::Network nw(s);
+    snic::Bluefield bf(s, nw, "bf0");
+    EXPECT_EQ(bf.cores().size(), 7u);
+    EXPECT_EQ(bf.node(), 0u);
+    EXPECT_DOUBLE_EQ(bf.nic().config().gbps,
+                     calibration::bluefieldGbps);
+    auto cfg = bf.lynxRuntimeConfig();
+    EXPECT_EQ(cfg.cores.size(), 7u);
+    EXPECT_EQ(cfg.nic, &bf.nic());
+    // ARM stack is costlier than the Xeon profile.
+    EXPECT_GT(cfg.stack.udpRecv, calibration::vmaXeon().udpRecv);
+}
+
+TEST(Bluefield, RunsLynxEndToEnd)
+{
+    sim::Simulator s;
+    net::Network nw(s);
+    snic::Bluefield bf(s, nw, "bf0");
+    auto &clientNic = nw.addNic("client");
+    pcie::DeviceMemory gpuMem("gpu0.mem", 4 << 20);
+
+    core::Runtime rt(s, bf.lynxRuntimeConfig());
+    auto &accel = rt.addAccelerator("gpu0", gpuMem, rdma::RdmaPathModel{});
+    core::ServiceConfig scfg;
+    scfg.port = 7000;
+    auto &svc = rt.addService(scfg);
+    auto queues = rt.makeAccelQueues(svc, accel);
+    auto echo = [&](core::AccelQueue &q) -> sim::Task {
+        for (;;) {
+            auto m = co_await q.recv();
+            co_await q.send(m.tag, m.payload);
+        }
+    };
+    sim::spawn(s, echo(*queues[0]));
+    rt.start();
+
+    workload::LoadGenConfig lg;
+    lg.nic = &clientNic;
+    lg.target = {bf.node(), 7000};
+    lg.concurrency = 1;
+    lg.warmup = 1_ms;
+    lg.duration = 20_ms;
+    workload::LoadGen gen(s, lg);
+    gen.start();
+    s.runUntil(gen.windowEnd() + 2_ms);
+
+    EXPECT_GT(gen.completed(), 100u);
+    EXPECT_EQ(gen.validationFailures(), 0u);
+    // Bluefield zero-work echo latency: ~25 us in the paper (§6.2);
+    // accept the right ballpark.
+    double p50us = sim::toMicroseconds(gen.latency().percentile(50));
+    EXPECT_GT(p50us, 12.0);
+    EXPECT_LT(p50us, 45.0);
+}
+
+TEST(Innova, AfuRateLimitsReceiveThroughput)
+{
+    sim::Simulator s;
+    net::Network nw(s);
+    snic::InnovaAfu innova(s, nw, "innova0");
+    auto &clientNic = nw.addNic("client", {40.0, 300_ns, 65536});
+    pcie::DeviceMemory gpuMem("gpu0.mem", 8 << 20);
+    rdma::QueuePair qp(s, "qp", gpuMem, rdma::RdmaPathModel{});
+
+    // 8 mqueues, each drained by an accel-side consumer.
+    std::vector<std::unique_ptr<core::SnicMqueue>> mqs;
+    std::vector<std::unique_ptr<core::AccelQueue>> gios;
+    std::vector<core::SnicMqueue *> raw;
+    std::uint64_t base = 0;
+    std::uint64_t received = 0;
+    for (int i = 0; i < 8; ++i) {
+        core::MqueueLayout l{base, 64, 256};
+        base += l.totalBytes() + 64;
+        mqs.push_back(std::make_unique<core::SnicMqueue>(
+            s, "mq" + std::to_string(i), qp, l,
+            core::MqueueKind::Server));
+        gios.push_back(std::make_unique<core::AccelQueue>(
+            s, "gio" + std::to_string(i), gpuMem, l));
+        raw.push_back(mqs.back().get());
+    }
+    auto consumer = [&](core::AccelQueue &q) -> sim::Task {
+        for (;;) {
+            (void)co_await q.recv();
+            if (s.now() < 2_ms)
+                ++received;
+        }
+    };
+    for (auto &g : gios)
+        sim::spawn(s, consumer(*g));
+    innova.attachReceiveService(9000, raw);
+
+    // Blast 64 B UDP as fast as the 40G link allows for 2 ms.
+    auto blaster = [&]() -> sim::Task {
+        while (s.now() < 2_ms) {
+            net::Message m;
+            m.src = {clientNic.node(), 1};
+            m.dst = {innova.node(), 9000};
+            m.proto = net::Protocol::Udp;
+            m.payload.assign(64, 0xab);
+            co_await clientNic.send(std::move(m));
+        }
+    };
+    sim::spawn(s, blaster());
+    s.runUntil(4_ms);
+
+    // AFU pipeline: one message per 135 ns => ~7.4 M msg/s; in 2 ms
+    // of offered load that is ~14.8 K messages delivered.
+    double ratePerSec = static_cast<double>(received) / 2e-3;
+    EXPECT_GT(ratePerSec, 5.5e6);
+    EXPECT_LT(ratePerSec, 7.6e6);
+    EXPECT_GT(innova.stats().counterValue("afu_delivered"), 10'000u);
+}
+
+TEST(Innova, FutureWorkEchoServiceRoundTripsWithoutCpu)
+{
+    // The §5.2 future-work variant: full duplex through the AFU and
+    // one-sided-RDMA rings — requests echo back with zero CPU cycles
+    // anywhere.
+    sim::Simulator s;
+    net::Network nw(s);
+    snic::InnovaAfu innova(s, nw, "innova0");
+    auto &clientNic = nw.addNic("client");
+    pcie::DeviceMemory gpuMem("gpu0.mem", 4 << 20);
+    rdma::QueuePair qp(s, "qp", gpuMem, rdma::RdmaPathModel{});
+
+    std::vector<std::unique_ptr<core::SnicMqueue>> mqs;
+    std::vector<std::unique_ptr<core::AccelQueue>> gios;
+    std::vector<core::SnicMqueue *> raw;
+    std::uint64_t base = 0;
+    for (int i = 0; i < 4; ++i) {
+        core::MqueueLayout l{base, 16, 512};
+        base += l.totalBytes() + 64;
+        mqs.push_back(std::make_unique<core::SnicMqueue>(
+            s, "mq" + std::to_string(i), qp, l,
+            core::MqueueKind::Server));
+        gios.push_back(std::make_unique<core::AccelQueue>(
+            s, "gio" + std::to_string(i), gpuMem, l));
+        raw.push_back(mqs.back().get());
+    }
+    auto echoWorker = [&](core::AccelQueue &q) -> sim::Task {
+        for (;;) {
+            core::GioMessage m = co_await q.recv();
+            std::vector<std::uint8_t> resp(m.payload.rbegin(),
+                                           m.payload.rend());
+            co_await q.send(m.tag, resp);
+        }
+    };
+    for (auto &g : gios)
+        sim::spawn(s, echoWorker(*g));
+    innova.attachEchoService(9000, raw);
+
+    workload::LoadGenConfig lg;
+    lg.nic = &clientNic;
+    lg.target = {innova.node(), 9000};
+    lg.concurrency = 8;
+    lg.warmup = 1_ms;
+    lg.duration = 20_ms;
+    lg.makeRequest = [](std::uint64_t seq, sim::Rng &) {
+        std::vector<std::uint8_t> p(32);
+        for (std::size_t i = 0; i < p.size(); ++i)
+            p[i] = static_cast<std::uint8_t>(seq + i);
+        return p;
+    };
+    lg.validate = [](const net::Message &resp) {
+        // Reversed payload: check the stamp at the (reversed) end.
+        return resp.payload.size() == 32 &&
+               resp.payload[31] == static_cast<std::uint8_t>(resp.seq);
+    };
+    workload::LoadGen gen(s, lg);
+    gen.start();
+    s.runUntil(gen.windowEnd() + 5_ms);
+
+    EXPECT_GT(gen.completed(), 1000u);
+    EXPECT_EQ(gen.validationFailures(), 0u);
+    EXPECT_EQ(gen.timeouts(), 0u);
+}

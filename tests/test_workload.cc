@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Tests for the load generator (closed/open loop, window accounting,
+ * timeouts) and the synthetic dataset generators.
+ */
+
+#include <gtest/gtest.h>
+
+#include "net/network.hh"
+#include "sim/simulator.hh"
+#include "sim/task.hh"
+#include "workload/datagen.hh"
+#include "workload/loadgen.hh"
+
+using namespace lynx;
+using namespace lynx::sim::literals;
+
+namespace {
+
+/** A fixed-service-time echo server for exercising the generator. */
+struct EchoService
+{
+    sim::Simulator &s;
+    net::Nic &nic;
+    sim::Tick serviceTime;
+    bool dropEverything = false;
+
+    void
+    start(std::uint16_t port)
+    {
+        net::Endpoint &ep = nic.bind(net::Protocol::Udp, port);
+        sim::spawn(s, loop(ep, port));
+    }
+
+    sim::Task
+    loop(net::Endpoint &ep, std::uint16_t port)
+    {
+        for (;;) {
+            net::Message m = co_await ep.recv();
+            if (dropEverything)
+                continue;
+            co_await sim::sleep(serviceTime);
+            net::Message r;
+            r.src = {nic.node(), port};
+            r.dst = m.src;
+            r.proto = m.proto;
+            r.payload = m.payload;
+            r.seq = m.seq;
+            r.sentAt = m.sentAt;
+            co_await nic.send(std::move(r));
+        }
+    }
+};
+
+} // namespace
+
+TEST(LoadGen, ClosedLoopLatencyMatchesServiceTime)
+{
+    sim::Simulator s;
+    net::Network nw(s);
+    auto &serverNic = nw.addNic("server");
+    auto &clientNic = nw.addNic("client");
+    EchoService svc{s, serverNic, 100_us};
+    svc.start(7000);
+
+    workload::LoadGenConfig cfg;
+    cfg.nic = &clientNic;
+    cfg.target = {serverNic.node(), 7000};
+    cfg.concurrency = 1;
+    cfg.warmup = 2_ms;
+    cfg.duration = 50_ms;
+    workload::LoadGen gen(s, cfg);
+    gen.start();
+    s.runUntil(gen.windowEnd() + 2_ms);
+
+    EXPECT_GT(gen.completed(), 100u);
+    // Latency = service + wire, a little over 100 us.
+    EXPECT_GT(gen.latency().percentile(50), 100'000u);
+    EXPECT_LT(gen.latency().percentile(50), 115'000u);
+    // Closed loop with one worker: throughput ~ 1/latency.
+    EXPECT_NEAR(gen.throughputRps(),
+                1e9 / static_cast<double>(gen.latency().mean()),
+                gen.throughputRps() * 0.1);
+    EXPECT_EQ(gen.timeouts(), 0u);
+    EXPECT_EQ(gen.validationFailures(), 0u);
+}
+
+TEST(LoadGen, ConcurrencyRaisesThroughput)
+{
+    auto run = [](int conc) {
+        sim::Simulator s;
+        net::Network nw(s);
+        auto &serverNic = nw.addNic("server");
+        auto &clientNic = nw.addNic("client");
+        EchoService svc{s, serverNic, 0};
+        // Service is the NIC tx serialization only: effectively
+        // concurrent handling because the loop has no think time.
+        svc.start(7000);
+        workload::LoadGenConfig cfg;
+        cfg.nic = &clientNic;
+        cfg.target = {serverNic.node(), 7000};
+        cfg.concurrency = conc;
+        cfg.warmup = 1_ms;
+        cfg.duration = 20_ms;
+        workload::LoadGen gen(s, cfg);
+        gen.start();
+        s.runUntil(gen.windowEnd() + 2_ms);
+        return gen.throughputRps();
+    };
+    double one = run(1);
+    double four = run(4);
+    EXPECT_GT(four, one * 2.5);
+}
+
+TEST(LoadGen, OpenLoopHitsTargetRate)
+{
+    sim::Simulator s;
+    net::Network nw(s);
+    auto &serverNic = nw.addNic("server");
+    auto &clientNic = nw.addNic("client");
+    EchoService svc{s, serverNic, 10_us};
+    svc.start(7000);
+
+    workload::LoadGenConfig cfg;
+    cfg.nic = &clientNic;
+    cfg.target = {serverNic.node(), 7000};
+    cfg.openRate = 50'000.0;
+    cfg.warmup = 5_ms;
+    cfg.duration = 100_ms;
+    workload::LoadGen gen(s, cfg);
+    gen.start();
+    s.runUntil(gen.windowEnd() + 2_ms);
+
+    EXPECT_NEAR(gen.throughputRps(), 50'000.0, 3'000.0);
+    EXPECT_NEAR(static_cast<double>(gen.sent()),
+                static_cast<double>(gen.completed()),
+                static_cast<double>(gen.sent()) * 0.02);
+}
+
+TEST(LoadGen, TimeoutsRecoverFromDrops)
+{
+    sim::Simulator s;
+    net::Network nw(s);
+    auto &serverNic = nw.addNic("server");
+    auto &clientNic = nw.addNic("client");
+    EchoService svc{s, serverNic, 0};
+    svc.dropEverything = true;
+    svc.start(7000);
+
+    workload::LoadGenConfig cfg;
+    cfg.nic = &clientNic;
+    cfg.target = {serverNic.node(), 7000};
+    cfg.concurrency = 1;
+    cfg.warmup = 0;
+    cfg.duration = 30_ms;
+    cfg.requestTimeout = 5_ms;
+    workload::LoadGen gen(s, cfg);
+    gen.start();
+    s.runUntil(gen.windowEnd() + 2_ms);
+
+    EXPECT_EQ(gen.completed(), 0u);
+    EXPECT_GE(gen.timeouts(), 5u);
+}
+
+TEST(LoadGen, ValidationFailuresCounted)
+{
+    sim::Simulator s;
+    net::Network nw(s);
+    auto &serverNic = nw.addNic("server");
+    auto &clientNic = nw.addNic("client");
+    EchoService svc{s, serverNic, 1_us};
+    svc.start(7000);
+
+    workload::LoadGenConfig cfg;
+    cfg.nic = &clientNic;
+    cfg.target = {serverNic.node(), 7000};
+    cfg.warmup = 0;
+    cfg.duration = 5_ms;
+    cfg.validate = [](const net::Message &) { return false; };
+    workload::LoadGen gen(s, cfg);
+    gen.start();
+    s.runUntil(gen.windowEnd() + 2_ms);
+    EXPECT_GT(gen.validationFailures(), 0u);
+}
+
+TEST(DataGen, MnistImagesAreDeterministicAndDistinct)
+{
+    auto a1 = workload::synthMnist(3, 7);
+    auto a2 = workload::synthMnist(3, 7);
+    auto b = workload::synthMnist(8, 7);
+    EXPECT_EQ(a1, a2);
+    EXPECT_NE(a1, b);
+    EXPECT_EQ(a1.size(), 28u * 28u);
+    // Images are not blank.
+    int lit = 0;
+    for (auto px : a1)
+        lit += (px > 64);
+    EXPECT_GT(lit, 10);
+}
+
+TEST(DataGen, FaceImagesKeepPersonIdentity)
+{
+    auto p1v0 = workload::synthFace(1, 0);
+    auto p1v1 = workload::synthFace(1, 1);
+    auto p2v0 = workload::synthFace(2, 0);
+    EXPECT_EQ(p1v0.size(), 32u * 32u);
+    EXPECT_NE(p1v0, p1v1); // variants differ...
+    EXPECT_NE(p1v0, p2v0); // ...and persons differ
+}
+
+TEST(DataGen, FaceLabelsAreStableTwelveBytes)
+{
+    auto l1 = workload::faceLabel(5);
+    auto l2 = workload::faceLabel(5);
+    auto l3 = workload::faceLabel(6);
+    EXPECT_EQ(l1, l2);
+    EXPECT_NE(l1, l3);
+    EXPECT_EQ(l1.size(), 12u);
+}
