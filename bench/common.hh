@@ -12,9 +12,12 @@
 #ifndef LYNX_BENCH_COMMON_HH
 #define LYNX_BENCH_COMMON_HH
 
+#include <cstdint>
 #include <cstdio>
+#include <initializer_list>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "accel/gpu.hh"
@@ -96,6 +99,96 @@ banner(const char *id, const char *title, const char *paperClaim)
                 "-------------------------\n");
 }
 
+/** One JSON-encodable cell of a BenchJson row. */
+struct JsonValue
+{
+    std::string enc;
+
+    JsonValue(const char *s) : enc(quote(s)) {}
+    JsonValue(const std::string &s) : enc(quote(s)) {}
+    JsonValue(double v)
+    {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%.4f", v);
+        enc = buf;
+    }
+    JsonValue(std::uint64_t v) : enc(std::to_string(v)) {}
+    JsonValue(int v) : enc(std::to_string(v)) {}
+    JsonValue(bool v) : enc(v ? "true" : "false") {}
+
+    static std::string
+    quote(const std::string &s)
+    {
+        std::string out = "\"";
+        for (char c : s) {
+            if (c == '"' || c == '\\')
+                out += '\\';
+            out += c;
+        }
+        out += '"';
+        return out;
+    }
+};
+
+/**
+ * Machine-readable companion of a bench's printed table: accumulates
+ * rows and writes `BENCH_<id>.json` ({"bench": id, "rows": [...]})
+ * into the working directory on destruction or write().
+ */
+class BenchJson
+{
+  public:
+    explicit BenchJson(std::string id) : id_(std::move(id)) {}
+
+    BenchJson(const BenchJson &) = delete;
+    BenchJson &operator=(const BenchJson &) = delete;
+
+    ~BenchJson() { write(); }
+
+    void
+    addRow(std::initializer_list<std::pair<const char *, JsonValue>>
+               fields)
+    {
+        std::string row = "{";
+        bool first = true;
+        for (const auto &[key, val] : fields) {
+            if (!first)
+                row += ",";
+            first = false;
+            row += JsonValue::quote(key) + ":" + val.enc;
+        }
+        row += "}";
+        rows_.push_back(std::move(row));
+    }
+
+    void
+    write()
+    {
+        if (written_)
+            return;
+        written_ = true;
+        std::string path = "BENCH_" + id_ + ".json";
+        std::FILE *f = std::fopen(path.c_str(), "w");
+        if (!f) {
+            std::fprintf(stderr, "cannot write %s\n", path.c_str());
+            return;
+        }
+        std::fprintf(f, "{\"bench\":%s,\"rows\":[",
+                     JsonValue::quote(id_).c_str());
+        for (std::size_t i = 0; i < rows_.size(); ++i)
+            std::fprintf(f, "%s%s", i ? "," : "", rows_[i].c_str());
+        std::fprintf(f, "]}\n");
+        std::fclose(f);
+        std::printf("[json] wrote %s (%zu rows)\n", path.c_str(),
+                    rows_.size());
+    }
+
+  private:
+    std::string id_;
+    std::vector<std::string> rows_;
+    bool written_ = false;
+};
+
 /**
  * A complete single-server echo deployment of one platform: used by
  * the Fig. 6 throughput and Fig. 7 latency microbenchmarks.
@@ -103,12 +196,44 @@ banner(const char *id, const char *title, const char *paperClaim)
  * GPU side: one persistent echo block per mqueue, each emulating
  * `procTime` of request processing (§6.2 microbenchmark kernel).
  */
+/** Deployment knobs of an EchoWorld beyond platform/queues. */
+struct EchoOptions
+{
+    /** mqueue write behaviour (coalescing / barrier / RX batching). */
+    core::SnicMqueueConfig mq;
+
+    /** Dispatcher-side staging batch (1 = per-message pushes). */
+    int dispatchMaxBatch = 1;
+
+    /** Partial-batch flush linger (see RuntimeConfig). */
+    sim::Tick dispatchFlushLinger =
+        calibration::snicDispatchFlushLinger;
+
+    /** Forwarder-side TX fetch batch (1 = per-slot fetches). */
+    int forwardMaxBatch = 1;
+
+    /** Idle-scaled forwarder poll backoff. */
+    bool adaptivePoll = false;
+
+    /** Accelerator-side multi-slot doorbell consumption. */
+    bool gioBurst = false;
+
+    /** Request payload size sent by the load generators. */
+    std::size_t payloadBytes = 64;
+};
+
 class EchoWorld
 {
   public:
     EchoWorld(Platform platform, int mqueues, sim::Tick procTime,
               core::SnicMqueueConfig mqCfg = {})
-        : platform_(platform)
+        : EchoWorld(platform, mqueues, procTime,
+                    EchoOptions{.mq = mqCfg})
+    {}
+
+    EchoWorld(Platform platform, int mqueues, sim::Tick procTime,
+              EchoOptions opts)
+        : platform_(platform), opts_(opts)
     {
         clientNic_ = &network_.addNic("client0");
         clientNic2_ = &network_.addNic("client1");
@@ -149,7 +274,12 @@ class EchoWorld
             cfg = snic::hostRuntimeConfig(cores, serverHost_->nic());
             serverNode_ = serverHost_->id();
         }
-        cfg.mq = mqCfg;
+        cfg.mq = opts_.mq;
+        cfg.dispatchMaxBatch = opts_.dispatchMaxBatch;
+        cfg.dispatchFlushLinger = opts_.dispatchFlushLinger;
+        cfg.forwarder.maxBatch = opts_.forwardMaxBatch;
+        cfg.forwarder.adaptivePoll = opts_.adaptivePoll;
+        cfg.gio.rxBurst = opts_.gioBurst;
         runtime_ = std::make_unique<core::Runtime>(s_, cfg);
         auto &accel = runtime_->addAccelerator("k40m", gpu_->memory(),
                                                rdma::RdmaPathModel{});
@@ -181,8 +311,9 @@ class EchoWorld
             lg.seed = seed;
             lg.thinkTime = thinkTime;
             lg.requestTimeout = 200_ms;
-            lg.makeRequest = [](std::uint64_t, sim::Rng &) {
-                return std::vector<std::uint8_t>(64, 0x42);
+            std::size_t payloadBytes = opts_.payloadBytes;
+            lg.makeRequest = [payloadBytes](std::uint64_t, sim::Rng &) {
+                return std::vector<std::uint8_t>(payloadBytes, 0x42);
             };
             return std::make_unique<workload::LoadGen>(s_, lg);
         };
@@ -216,8 +347,12 @@ class EchoWorld
     net::Network &network() { return network_; }
     accel::Gpu &gpu() { return *gpu_; }
 
+    /** @return the Lynx runtime (null on the host-centric baseline). */
+    core::Runtime *runtime() { return runtime_.get(); }
+
   private:
     Platform platform_;
+    EchoOptions opts_;
     std::uint16_t port_ = 7000;
     std::uint32_t serverNode_ = 0;
 

@@ -18,6 +18,7 @@
 #include "sim/histogram.hh"
 #include "sim/random.hh"
 #include "sim/simulator.hh"
+#include "sim/stats.hh"
 #include "sim/task.hh"
 #include "workload/datagen.hh"
 
@@ -94,6 +95,57 @@ BM_HistogramRecord(benchmark::State &state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_HistogramRecord);
+
+/** The per-message stats pattern the model code moved away from: a
+ *  string-keyed map lookup on every event. */
+void
+BM_StatCounterLookup(benchmark::State &state)
+{
+    sim::StatSet stats;
+    for (auto _ : state)
+        stats.counter("rx_pushed").add();
+    benchmark::DoNotOptimize(stats.counterValue("rx_pushed"));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StatCounterLookup);
+
+/** The hot-path pattern now used by dispatch/rxPush/forwardOne:
+ *  resolve the counter once, bump through the cached pointer. */
+void
+BM_StatCounterCached(benchmark::State &state)
+{
+    sim::StatSet stats;
+    sim::Counter *c = &stats.counter("rx_pushed");
+    for (auto _ : state)
+        c->add();
+    benchmark::DoNotOptimize(stats.counterValue("rx_pushed"));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StatCounterCached);
+
+/** Multi-slot batch segment encode (the rxPushBatch hot path). */
+void
+BM_MqueueBatchEncode(benchmark::State &state)
+{
+    core::MqueueLayout l;
+    l.slots = 16;
+    l.slotBytes = 2048;
+    std::vector<std::uint8_t> payload(64, 0x5a);
+    std::vector<core::SlotRecord> recs(
+        static_cast<std::size_t>(state.range(0)));
+    for (std::size_t j = 0; j < recs.size(); ++j) {
+        recs[j].payload = payload;
+        recs[j].meta.len = 64;
+        recs[j].meta.seq = static_cast<std::uint32_t>(j + 1);
+    }
+    for (auto _ : state) {
+        auto [off, buf] = core::encodeRxBatchSegment(l, 0, recs);
+        benchmark::DoNotOptimize(buf.data());
+        benchmark::DoNotOptimize(off);
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MqueueBatchEncode)->Arg(4)->Arg(16);
 
 void
 BM_RdmaWriteDeliver(benchmark::State &state)

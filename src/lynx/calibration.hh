@@ -161,6 +161,39 @@ constexpr Tick forwardCpuArm = nanoseconds(1200);
 constexpr Tick snicPollDiscovery = nanoseconds(1000);
 
 /*
+ * ----- Batched dispatch & forwarding (extension) -----
+ *
+ * The paper's per-message RDMA pattern (§5.1: one coalesced write
+ * per RX message; one read per TX slot) leaves doorbell-batching on
+ * the table. These knobs cap the extension's batch sizes and the
+ * adaptive poll backoff; defaults are deliberately modest — a batch
+ * never spans a ring wrap, and the dominant saving is the per-op
+ * post cost (rdmaPostCost + rdmaNicLatency), so returns diminish
+ * well before ring capacity.
+ */
+
+/** Max RX messages coalesced into one RDMA write + doorbell. */
+constexpr int snicRxMaxBatch = 16;
+
+/** Max TX slots fetched per pipelined RDMA read. */
+constexpr int snicTxMaxBatch = 16;
+
+/** Dispatcher flush linger: how long a partial staged batch waits
+ *  for company once the ingress backlog is empty. Only applied when
+ *  the target queue is deeply backlogged with earlier in-flight
+ *  requests (Dispatcher::stagedBehindBusyRing), so it adds no delay
+ *  to idle or lightly-loaded queues; sized to roughly the drain time
+ *  of a backlogged 16-slot ring of small messages. */
+constexpr Tick snicDispatchFlushLinger = microseconds(30);
+
+/** Adaptive poll backoff bounds: a just-idle queue is re-polled
+ *  after the min, a long-idle one after the max (the max matches
+ *  snicPollDiscovery, so the idle-state cost never exceeds the
+ *  fixed-poll model it replaces). */
+constexpr Tick snicPollBackoffMin = nanoseconds(100);
+constexpr Tick snicPollBackoffMax = nanoseconds(1000);
+
+/*
  * ----- Accelerator-side I/O (gio) -----
  */
 

@@ -4,6 +4,14 @@
  * the SNIC network server into server-mqueue RX rings "according to
  * the dispatching policy, e.g. load balancing for stateless services,
  * or steering messages to specific queues for stateful ones" (§4.2).
+ *
+ * With `maxBatch > 1` the dispatcher stages messages per target
+ * mqueue and hands them to SnicMqueue::rxPushBatch() in groups, so
+ * back-to-back arrivals for the same queue share one coalesced RDMA
+ * write and one doorbell. A staged batch is flushed either when it
+ * reaches `maxBatch` or when the caller observes the ingress going
+ * idle (Runtime::listenLoop flushes when the endpoint backlog drains),
+ * so batching never adds latency to an isolated message.
  */
 
 #ifndef LYNX_LYNX_DISPATCHER_HH
@@ -11,6 +19,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "lynx/snic_mqueue.hh"
@@ -32,13 +41,35 @@ enum class DispatchPolicy
     SourceHash,
 };
 
+/** Dispatcher behaviour switches. */
+struct DispatcherConfig
+{
+    /** CPU charged per dispatched message. */
+    sim::Tick dispatchCpu = 0;
+
+    /** Messages staged per mqueue before a batched RX push; 1 =
+     *  immediate per-message rxPush, exactly the unbatched path. */
+    int maxBatch = 1;
+};
+
 /** Dispatches one service's ingress traffic to its mqueues. */
 class Dispatcher
 {
   public:
     Dispatcher(std::string name, DispatchPolicy policy,
+               DispatcherConfig cfg)
+        : name_(std::move(name)), policy_(policy), cfg_(cfg),
+          cDroppedOversized_(&stats_.counter("dropped_oversized")),
+          cDroppedNoTag_(&stats_.counter("dropped_no_tag")),
+          cDroppedRingFull_(&stats_.counter("dropped_ring_full")),
+          cDispatched_(&stats_.counter("dispatched")),
+          cBatchFlushes_(&stats_.counter("batch_flushes"))
+    {}
+
+    Dispatcher(std::string name, DispatchPolicy policy,
                sim::Tick dispatchCpu)
-        : name_(std::move(name)), policy_(policy), dispatchCpu_(dispatchCpu)
+        : Dispatcher(std::move(name), policy,
+                     DispatcherConfig{dispatchCpu, 1})
     {}
 
     Dispatcher(const Dispatcher &) = delete;
@@ -51,6 +82,10 @@ class Dispatcher
         LYNX_ASSERT(mq->kind() == MqueueKind::Server,
                     "dispatcher targets must be server mqueues");
         queues_.push_back(mq);
+        staged_.emplace_back();
+        staged_.back().reserve(
+            cfg_.maxBatch > 1 ? static_cast<std::size_t>(cfg_.maxBatch)
+                              : 0);
     }
 
     /** @return registered queue count. */
@@ -60,17 +95,20 @@ class Dispatcher
      * Dispatch @p msg: pick an mqueue, allocate a response tag for
      * the client, push into the RX ring. Charges CPU on @p core.
      * Full rings / tag tables drop the message (UDP semantics).
+     * With batching on, the message may instead be staged; callers
+     * must eventually flush() (see hasStaged()).
      */
     sim::Co<void>
     dispatch(sim::Core &core, net::Message msg)
     {
         LYNX_ASSERT(!queues_.empty(), name_, ": no mqueues registered");
-        co_await core.exec(dispatchCpu_);
-        SnicMqueue &mq = *pick(msg);
+        co_await core.exec(cfg_.dispatchCpu);
+        std::size_t qi = pickIndex(msg);
+        SnicMqueue &mq = *queues_[qi];
         if (msg.size() > mq.layout().maxPayload()) {
             // Larger than a ring slot: drop like an oversized
             // datagram instead of corrupting the ring.
-            stats_.counter("dropped_oversized").add();
+            cDroppedOversized_->add();
             co_return;
         }
         ClientRef client{msg.src, msg.proto};
@@ -78,42 +116,122 @@ class Dispatcher
         client.sentAt = msg.sentAt;
         auto tag = mq.allocTag(client);
         if (!tag) {
-            stats_.counter("dropped_no_tag").add();
+            cDroppedNoTag_->add();
             co_return;
         }
-        bool ok = co_await mq.rxPush(core, msg.payload, *tag);
-        if (!ok) {
-            mq.releaseTag(*tag);
-            stats_.counter("dropped_ring_full").add();
+        if (cfg_.maxBatch <= 1) {
+            bool ok = co_await mq.rxPush(core, msg.payload, *tag);
+            if (!ok) {
+                mq.releaseTag(*tag);
+                cDroppedRingFull_->add();
+                co_return;
+            }
+            cDispatched_->add();
             co_return;
         }
-        stats_.counter("dispatched").add();
+        staged_[qi].push_back({std::move(msg.payload), *tag});
+        ++stagedCount_;
+        if (staged_[qi].size() >=
+            static_cast<std::size_t>(cfg_.maxBatch))
+            co_await flushQueue(core, qi);
+    }
+
+    /** @return whether staged messages await a flush(). */
+    bool hasStaged() const { return stagedCount_ != 0; }
+
+    /** @return whether some staged batch targets a queue deep enough
+     *  in earlier in-flight requests (tags allocated beyond the
+     *  staged ones) that lingering for more company is (nearly)
+     *  free: the accelerator would not reach the staged message
+     *  immediately anyway. The depth threshold scales with the batch
+     *  size — deep batches are only worth waiting for behind a deep
+     *  backlog. An idle queue returns false, so an isolated message
+     *  is flushed without delay. */
+    bool
+    stagedBehindBusyRing() const
+    {
+        std::size_t minExcess =
+            static_cast<std::size_t>(cfg_.maxBatch) / 4 + 1;
+        for (std::size_t qi = 0; qi < queues_.size(); ++qi) {
+            if (!staged_[qi].empty() &&
+                queues_[qi]->tagsInFlight() >=
+                    staged_[qi].size() + minExcess)
+                return true;
+        }
+        return false;
+    }
+
+    /** Push every staged batch out (idle-ingress flush point). */
+    sim::Co<void>
+    flush(sim::Core &core)
+    {
+        for (std::size_t qi = 0; qi < queues_.size(); ++qi)
+            if (!staged_[qi].empty())
+                co_await flushQueue(core, qi);
     }
 
     sim::StatSet &stats() { return stats_; }
 
   private:
-    SnicMqueue *
-    pick(const net::Message &msg)
+    struct Staged
+    {
+        std::vector<std::uint8_t> payload;
+        std::uint32_t tag;
+    };
+
+    sim::Co<void>
+    flushQueue(sim::Core &core, std::size_t qi)
+    {
+        // Move the batch out before any suspension so a concurrent
+        // dispatch() can stage into a fresh vector.
+        std::vector<Staged> batch = std::move(staged_[qi]);
+        staged_[qi].clear();
+        stagedCount_ -= batch.size();
+        SnicMqueue &mq = *queues_[qi];
+        std::vector<SnicMqueue::RxItem> items;
+        items.reserve(batch.size());
+        for (const Staged &s : batch)
+            items.push_back({s.payload, s.tag, 0});
+        std::size_t accepted = co_await mq.rxPushBatch(core, items);
+        for (std::size_t j = accepted; j < batch.size(); ++j) {
+            mq.releaseTag(batch[j].tag);
+            cDroppedRingFull_->add();
+        }
+        cDispatched_->add(accepted);
+        cBatchFlushes_->add();
+    }
+
+    std::size_t
+    pickIndex(const net::Message &msg)
     {
         switch (policy_) {
           case DispatchPolicy::RoundRobin:
-            return queues_[rr_++ % queues_.size()];
+            return rr_++ % queues_.size();
           case DispatchPolicy::SourceHash: {
             std::uint64_t h = msg.src.node * 0x9e3779b97f4a7c15ull +
                               msg.src.port * 0x85ebca6bull;
-            return queues_[h % queues_.size()];
+            return h % queues_.size();
           }
         }
-        return queues_[0];
+        return 0;
     }
 
     std::string name_;
     DispatchPolicy policy_;
-    sim::Tick dispatchCpu_;
+    DispatcherConfig cfg_;
     std::vector<SnicMqueue *> queues_;
+    /** Per-queue staged batches (parallel to queues_). */
+    std::vector<std::vector<Staged>> staged_;
+    std::size_t stagedCount_ = 0;
     std::size_t rr_ = 0;
     sim::StatSet stats_;
+
+    /** Hot-path counters, resolved once at construction. */
+    sim::Counter *cDroppedOversized_;
+    sim::Counter *cDroppedNoTag_;
+    sim::Counter *cDroppedRingFull_;
+    sim::Counter *cDispatched_;
+    sim::Counter *cBatchFlushes_;
 };
 
 } // namespace lynx::core

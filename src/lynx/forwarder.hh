@@ -13,6 +13,7 @@
 #ifndef LYNX_LYNX_FORWARDER_HH
 #define LYNX_LYNX_FORWARDER_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -54,6 +55,19 @@ struct ForwarderConfig
 
     /** CPU per managed queue per polling sweep (round-robin scan). */
     sim::Tick scanPerQueue = sim::nanoseconds(15);
+
+    /** TX slots fetched per pipelined RDMA read
+     *  (SnicMqueue::pollTxBatch); 1 = one post + fetch round per
+     *  slot, exactly the unbatched behaviour. */
+    int maxBatch = 1;
+
+    /** Scale the discovery delay with observed idleness instead of
+     *  the fixed pollDiscovery: a queue that just went quiet is
+     *  re-polled after pollBackoffMin, a long-idle one after
+     *  pollBackoffMax (delay = clamp(idle/2, min, max)). */
+    bool adaptivePoll = false;
+    sim::Tick pollBackoffMin = sim::nanoseconds(100);
+    sim::Tick pollBackoffMax = sim::nanoseconds(1000);
 };
 
 /** Egress pump for one accelerator's mqueues. */
@@ -70,8 +84,13 @@ class Forwarder
               net::StackProfile backendStack, ForwarderConfig cfg)
         : sim_(sim), name_(std::move(name)), core_(core), nic_(nic),
           stack_(stack), backendStack_(backendStack), cfg_(cfg),
-          activity_(sim)
-    {}
+          activity_(sim),
+          cResponses_(&stats_.counter("responses")),
+          cBackendRequests_(&stats_.counter("backend_requests")),
+          cBatchFetches_(&stats_.counter("batch_fetches"))
+    {
+        queues_.reserve(8);
+    }
 
     Forwarder(const Forwarder &) = delete;
     Forwarder &operator=(const Forwarder &) = delete;
@@ -87,13 +106,11 @@ class Forwarder
         LYNX_ASSERT((mq->kind() == MqueueKind::Client) == route.has_value(),
                     name_, ": route must be given iff queue is client kind");
         queues_.push_back(Entry{mq, servicePort, route, false});
-        Entry &e = queues_.back();
         std::size_t idx = queues_.size() - 1;
         mq->setTxActivityHandler([this, idx] {
             queues_[idx].pendingTx = true;
             activity_.open();
         });
-        (void)e;
     }
 
     /** Spawn the forwarding loop. */
@@ -119,6 +136,7 @@ class Forwarder
     sim::Task
     run()
     {
+        sim::Tick lastProgress = sim_.now();
         for (;;) {
             activity_.close();
             bool progress = false;
@@ -128,21 +146,51 @@ class Forwarder
                 if (!e.pendingTx)
                     continue;
                 e.pendingTx = false;
-                for (;;) {
-                    auto txm = co_await e.mq->pollTx(core_);
-                    if (!txm)
-                        break;
-                    progress = true;
-                    co_await forwardOne(e, std::move(*txm));
+                if (cfg_.maxBatch > 1) {
+                    // Drain in pipelined batches: one RDMA fetch per
+                    // group of ready slots, one credit commit per
+                    // drain (instead of post+fetch rounds per slot).
+                    for (;;) {
+                        auto batch = co_await e.mq->pollTxBatch(
+                            core_,
+                            static_cast<std::size_t>(cfg_.maxBatch));
+                        if (batch.empty())
+                            break;
+                        progress = true;
+                        cBatchFetches_->add();
+                        for (auto &txm : batch)
+                            co_await forwardOne(e, std::move(txm));
+                    }
+                } else {
+                    for (;;) {
+                        auto txm = co_await e.mq->pollTx(core_);
+                        if (!txm)
+                            break;
+                        progress = true;
+                        co_await forwardOne(e, std::move(*txm));
+                    }
                 }
                 if (e.mq->txCommitPending())
                     co_await e.mq->commitTxCons(core_);
             }
-            if (!progress) {
+            if (progress) {
+                lastProgress = sim_.now();
+            } else {
                 co_await activity_.wait();
-                co_await sim::sleep(cfg_.pollDiscovery);
+                co_await sim::sleep(discoveryDelay(lastProgress));
             }
         }
+    }
+
+    /** Doorbell-to-discovery delay for the next poll round. */
+    sim::Tick
+    discoveryDelay(sim::Tick lastProgress) const
+    {
+        if (!cfg_.adaptivePoll)
+            return cfg_.pollDiscovery;
+        sim::Tick idle = sim_.now() - lastProgress;
+        return std::clamp(idle / 2, cfg_.pollBackoffMin,
+                          cfg_.pollBackoffMax);
     }
 
     sim::Co<void>
@@ -158,7 +206,7 @@ class Forwarder
             out.proto = client.proto;
             out.seq = client.seq;
             out.sentAt = client.sentAt;
-            stats_.counter("responses").add();
+            cResponses_->add();
         } else {
             // Client mqueue: fixed backend destination; remember the
             // tag so the (in-order) response can be matched.
@@ -168,7 +216,7 @@ class Forwarder
             out.dst = e.route->dst;
             out.proto = e.route->proto;
             out.sentAt = sim_.now();
-            stats_.counter("backend_requests").add();
+            cBackendRequests_->add();
         }
         const net::StackProfile &prof =
             e.mq->kind() == MqueueKind::Server ? stack_ : backendStack_;
@@ -188,6 +236,11 @@ class Forwarder
     std::vector<Entry> queues_;
     bool started_ = false;
     sim::StatSet stats_;
+
+    /** Hot-path counters, resolved once at construction. */
+    sim::Counter *cResponses_;
+    sim::Counter *cBackendRequests_;
+    sim::Counter *cBatchFetches_;
 };
 
 } // namespace lynx::core

@@ -16,6 +16,13 @@ AccelQueue::AccelQueue(sim::Simulator &sim, std::string name,
                                 [this](auto, auto) {
                                     txConsActivity_.open();
                                 });
+
+    cRxMsgs_ = &stats_.counter("rx_msgs");
+    cRxBytes_ = &stats_.counter("rx_bytes");
+    cRxBursts_ = &stats_.counter("rx_bursts");
+    cTxMsgs_ = &stats_.counter("tx_msgs");
+    cTxBytes_ = &stats_.counter("tx_bytes");
+    cTxStalls_ = &stats_.counter("tx_stalls");
 }
 
 AccelQueue::~AccelQueue()
@@ -27,6 +34,8 @@ AccelQueue::~AccelQueue()
 bool
 AccelQueue::rxReady() const
 {
+    if (!burst_.empty())
+        return true;
     SlotMeta meta = readSlotMeta(mem_, layout_.rxSlotEnd(rxConsumed_));
     return meta.seq == static_cast<std::uint32_t>(rxConsumed_ + 1);
 }
@@ -34,6 +43,13 @@ AccelQueue::rxReady() const
 sim::Co<GioMessage>
 AccelQueue::recv()
 {
+    // Burst-drained messages were fully paid for (poll, copy, register
+    // update) at sweep time; handing one out is a register move.
+    if (!burst_.empty()) {
+        GioMessage msg = std::move(burst_.front());
+        burst_.pop_front();
+        co_return msg;
+    }
     for (;;) {
         rxActivity_.close();
         // One poll of the doorbell word in local memory.
@@ -41,6 +57,8 @@ AccelQueue::recv()
         std::uint64_t slotEnd = layout_.rxSlotEnd(rxConsumed_);
         SlotMeta meta = readSlotMeta(mem_, slotEnd);
         if (meta.seq == static_cast<std::uint32_t>(rxConsumed_ + 1)) {
+            if (cfg_.rxBurst)
+                co_return co_await drainReady();
             GioMessage msg;
             msg.tag = meta.tag;
             msg.err = meta.err;
@@ -53,12 +71,53 @@ AccelQueue::recv()
             mem_.writeU32(layout_.rxConsOff(),
                           static_cast<std::uint32_t>(rxConsumed_));
             co_await sim::sleep(cfg_.localLatency);
-            stats_.counter("rx_msgs").add();
-            stats_.counter("rx_bytes").add(meta.len);
+            cRxMsgs_->add();
+            cRxBytes_->add(meta.len);
             co_return msg;
         }
         co_await rxActivity_.wait();
     }
+}
+
+sim::Co<GioMessage>
+AccelQueue::drainReady()
+{
+    // Multi-slot doorbell consumption: a batched SNIC write lands all
+    // its doorbells atomically, so the run of consecutive ready slots
+    // from rxConsumed_ is exactly the (tail of the) batch. The one
+    // doorbell poll already paid by recv() discovered the whole run;
+    // the sweep pays the payload copies and a single consumer-register
+    // update for all of it.
+    std::uint64_t drained = 0;
+    std::uint64_t sweptBytes = 0;
+    for (;;) {
+        std::uint64_t slotEnd = layout_.rxSlotEnd(rxConsumed_ + drained);
+        SlotMeta meta = readSlotMeta(mem_, slotEnd);
+        if (meta.seq !=
+            static_cast<std::uint32_t>(rxConsumed_ + drained + 1))
+            break;
+        GioMessage msg;
+        msg.tag = meta.tag;
+        msg.err = meta.err;
+        msg.payload = readSlotPayload(mem_, slotEnd, meta);
+        sweptBytes += meta.len;
+        burst_.push_back(std::move(msg));
+        if (++drained == layout_.slots)
+            break;
+    }
+    LYNX_ASSERT(drained > 0, name_, ": burst sweep found no doorbell");
+    co_await sim::sleep(static_cast<sim::Tick>(
+        cfg_.perByte * static_cast<double>(sweptBytes)));
+    rxConsumed_ += drained;
+    mem_.writeU32(layout_.rxConsOff(),
+                  static_cast<std::uint32_t>(rxConsumed_));
+    co_await sim::sleep(cfg_.localLatency);
+    cRxMsgs_->add(drained);
+    cRxBytes_->add(sweptBytes);
+    cRxBursts_->add();
+    GioMessage first = std::move(burst_.front());
+    burst_.pop_front();
+    co_return first;
 }
 
 sim::Co<void>
@@ -76,7 +135,7 @@ AccelQueue::send(std::uint32_t tag, std::span<const std::uint8_t> payload,
             advance(txConsCache_, mem_.readU32(layout_.txConsOff()));
         if (txProduced_ - txConsCache_ < layout_.slots)
             break;
-        stats_.counter("tx_stalls").add();
+        cTxStalls_->add();
         co_await txConsActivity_.wait();
     }
 
@@ -96,8 +155,8 @@ AccelQueue::send(std::uint32_t tag, std::span<const std::uint8_t> payload,
     std::uint64_t slotEnd = layout_.txSlotEnd(txProduced_);
     mem_.write(slotWriteOffset(slotEnd, meta.len), buf);
     ++txProduced_;
-    stats_.counter("tx_msgs").add();
-    stats_.counter("tx_bytes").add(meta.len);
+    cTxMsgs_->add();
+    cTxBytes_->add(meta.len);
 }
 
 } // namespace lynx::core

@@ -21,6 +21,7 @@
 #define LYNX_LYNX_GIO_HH
 
 #include <cstdint>
+#include <deque>
 #include <span>
 #include <string>
 #include <vector>
@@ -43,6 +44,14 @@ struct GioConfig
 
     /** Per-byte cost of reading/writing payload in local memory. */
     double perByte = 0.15;
+
+    /** Consume multi-slot doorbells: when the SNIC lands a batched
+     *  RX write, one doorbell poll discovers the whole run of ready
+     *  slots; recv() drains them in one sweep (one poll latency, one
+     *  consumer-register update) and serves the surplus from a local
+     *  staging queue. Off (default) = one poll + one register write
+     *  per message, exactly the unbatched behaviour. */
+    bool rxBurst = false;
 };
 
 /** A message as seen by accelerator code. */
@@ -95,6 +104,11 @@ class AccelQueue
     sim::StatSet &stats() { return stats_; }
 
   private:
+    /** Sweep the run of consecutive ready RX slots into burst_ and
+     *  return the first message (rxBurst mode; @pre slot rxConsumed_
+     *  is ready and its poll latency has been paid). */
+    sim::Co<GioMessage> drainReady();
+
     /** Extend 32-bit register value @p observed onto 64-bit @p cache. */
     static std::uint64_t
     advance(std::uint64_t cache, std::uint32_t observed)
@@ -113,12 +127,24 @@ class AccelQueue
     std::uint64_t txProduced_ = 0;
     std::uint64_t txConsCache_ = 0;
 
+    /** Messages drained by a burst sweep but not yet recv()ed (their
+     *  poll + copy costs were paid at sweep time). */
+    std::deque<GioMessage> burst_;
+
     sim::Gate rxActivity_;
     sim::Gate txConsActivity_;
     std::uint64_t rxWatchId_ = 0;
     std::uint64_t txConsWatchId_ = 0;
 
     sim::StatSet stats_;
+
+    /** Hot-path counters, resolved once at construction. */
+    sim::Counter *cRxMsgs_;
+    sim::Counter *cRxBytes_;
+    sim::Counter *cRxBursts_;
+    sim::Counter *cTxMsgs_;
+    sim::Counter *cTxBytes_;
+    sim::Counter *cTxStalls_;
 };
 
 } // namespace lynx::core

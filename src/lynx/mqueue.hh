@@ -32,6 +32,7 @@
 
 #include <cstdint>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "pcie/memory.hh"
@@ -195,6 +196,61 @@ readSlotPayload(const pcie::DeviceMemory &mem, std::uint64_t slotEnd,
     mem.read(slotWriteOffset(slotEnd, meta.len),
              std::span<std::uint8_t>(out));
     return out;
+}
+
+/** One message of a multi-slot batch write. */
+struct SlotRecord
+{
+    std::span<const std::uint8_t> payload;
+    SlotMeta meta;
+};
+
+/**
+ * Serialize @p recs into ONE contiguous buffer covering RX slots
+ * [firstSlot, firstSlot + recs.size()) — the batched variant of
+ * encodeSlotWrite(). The buffer starts at the first record's payload
+ * and ends at the last slot's doorbell, so a single low-to-high RDMA
+ * write lands every payload, every metadata trailer, and finally the
+ * trailing doorbell (the highest seq, covering the whole batch).
+ * Inter-slot dead space (the unused head of slots 2..N) is
+ * zero-filled; its serialization cost is the price of coalescing.
+ *
+ * @pre the segment does not wrap the ring:
+ *      (firstSlot % slots) + recs.size() <= slots.
+ * @return {target offset of the write, buffer}.
+ */
+inline std::pair<std::uint64_t, std::vector<std::uint8_t>>
+encodeRxBatchSegment(const MqueueLayout &l, std::uint64_t firstSlot,
+                     std::span<const SlotRecord> recs)
+{
+    LYNX_ASSERT(!recs.empty(), "empty batch segment");
+    LYNX_ASSERT(firstSlot % l.slots + recs.size() <= l.slots,
+                "batch segment wraps the RX ring");
+    std::uint64_t begin =
+        slotWriteOffset(l.rxSlotEnd(firstSlot), recs[0].meta.len);
+    std::uint64_t end = l.rxSlotEnd(firstSlot + recs.size() - 1);
+    std::vector<std::uint8_t> buf(end - begin, 0);
+    for (std::size_t j = 0; j < recs.size(); ++j) {
+        const SlotRecord &r = recs[j];
+        LYNX_ASSERT(r.payload.size() == r.meta.len,
+                    "metadata length mismatch");
+        std::uint64_t slotEnd = l.rxSlotEnd(firstSlot + j);
+        std::size_t at = static_cast<std::size_t>(
+            slotWriteOffset(slotEnd, r.meta.len) - begin);
+        std::copy(r.payload.begin(), r.payload.end(), buf.begin() + at);
+        auto putU32 = [&](std::size_t off, std::uint32_t v) {
+            buf[off] = static_cast<std::uint8_t>(v);
+            buf[off + 1] = static_cast<std::uint8_t>(v >> 8);
+            buf[off + 2] = static_cast<std::uint8_t>(v >> 16);
+            buf[off + 3] = static_cast<std::uint8_t>(v >> 24);
+        };
+        std::size_t m = at + r.payload.size();
+        putU32(m + 0, r.meta.len);
+        putU32(m + 4, r.meta.tag);
+        putU32(m + 8, r.meta.err);
+        putU32(m + 12, r.meta.seq);
+    }
+    return {begin, std::move(buf)};
 }
 
 /** Parse the metadata trailer from a full-slot snapshot buffer. */

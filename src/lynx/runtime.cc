@@ -45,8 +45,9 @@ Runtime::addService(ServiceConfig scfg)
 {
     LYNX_ASSERT(!accels_.empty(), "no accelerators registered");
     net::Endpoint &ep = cfg_.nic->bind(scfg.proto, scfg.port);
-    services_.push_back(
-        std::make_unique<Service>(scfg, ep, cfg_.dispatchCpu));
+    services_.push_back(std::make_unique<Service>(
+        scfg, ep,
+        DispatcherConfig{cfg_.dispatchCpu, cfg_.dispatchMaxBatch}));
     Service &svc = *services_.back();
 
     for (auto &accel : accels_) {
@@ -120,14 +121,33 @@ sim::Task
 Runtime::listenLoop(Service &svc, sim::Core &core)
 {
     net::Protocol proto = svc.config().proto;
+    sim::Counter &rxMsgs = stats_.counter("rx_msgs");
     for (;;) {
         net::Message msg = co_await svc.endpoint().recv();
         LYNX_TRACE(sim_, "lynx", svc.config().name, ": rx from ",
                    msg.src, " (", msg.size(), " B)");
-        stats_.counter("rx_msgs").add();
+        rxMsgs.add();
         co_await core.exec(
             cfg_.stack.cost(proto, net::Dir::Recv, msg.size()));
         co_await svc.dispatcher().dispatch(core, std::move(msg));
+        // Batching flush point: once the ingress backlog drains,
+        // push the staged batches out. When a staged batch targets a
+        // ring that is already backlogged, linger first — the
+        // accelerator would not reach the message immediately anyway,
+        // so waiting for company costs (nearly) nothing and lets
+        // in-flight arrivals join the same coalesced write. An empty
+        // ring flushes immediately: an isolated message on an idle
+        // system is never delayed.
+        if (svc.dispatcher().hasStaged() &&
+            svc.endpoint().backlog() == 0) {
+            if (cfg_.dispatchFlushLinger > 0 &&
+                svc.dispatcher().stagedBehindBusyRing())
+                co_await sim::sleep(cfg_.dispatchFlushLinger);
+            if (svc.dispatcher().hasStaged() &&
+                svc.endpoint().backlog() == 0) {
+                co_await svc.dispatcher().flush(core);
+            }
+        }
     }
 }
 

@@ -143,9 +143,9 @@ struct ServiceConfig
 class Service
 {
   public:
-    Service(ServiceConfig cfg, net::Endpoint &ep, sim::Tick dispatchCpu)
+    Service(ServiceConfig cfg, net::Endpoint &ep, DispatcherConfig dcfg)
         : cfg_(cfg), ep_(ep),
-          dispatcher_(cfg.name + ".dispatch", cfg.policy, dispatchCpu)
+          dispatcher_(cfg.name + ".dispatch", cfg.policy, dcfg)
     {}
 
     const ServiceConfig &config() const { return cfg_; }
@@ -211,6 +211,19 @@ struct RuntimeConfig
     /** Dispatcher CPU per message. */
     sim::Tick dispatchCpu = sim::nanoseconds(500);
 
+    /** Messages the dispatcher stages per mqueue for one coalesced
+     *  RX write (1 = per-message pushes, the unbatched behaviour).
+     *  Staged batches flush when full or when the ingress endpoint's
+     *  backlog drains (after the linger below). */
+    int dispatchMaxBatch = 1;
+
+    /** How long a listener lingers before flushing a partial batch
+     *  once the ingress backlog is empty — the window in which
+     *  concurrent arrivals can join the same coalesced write. Only
+     *  consulted when dispatchMaxBatch > 1; bounds the extra latency
+     *  batching can ever add to a message. */
+    sim::Tick dispatchFlushLinger = sim::microseconds(2);
+
     /** Forwarding loop knobs. */
     ForwarderConfig forwarder;
 
@@ -274,6 +287,13 @@ class Runtime
     std::vector<std::unique_ptr<AccelHandle>> &accelerators()
     {
         return accels_;
+    }
+
+    /** @return every SNIC-side mqueue (benchmarks aggregate their
+     *  per-queue RDMA op counters from here). */
+    const std::vector<std::unique_ptr<SnicMqueue>> &mqueues() const
+    {
+        return mqueues_;
     }
 
     /** @return the runtime's NIC. */

@@ -1,5 +1,7 @@
 #include "snic_mqueue.hh"
 
+#include <algorithm>
+
 #include "sim/task.hh"
 #include "sim/trace.hh"
 
@@ -18,6 +20,18 @@ SnicMqueue::SnicMqueue(sim::Simulator &sim, std::string name,
     for (std::uint32_t i = 0; i < tableSize; ++i)
         freeTags_.push_back(tableSize - 1 - i);
     pendingActivity_ = std::make_unique<sim::Gate>(sim);
+
+    cRxPushed_ = &stats_.counter("rx_pushed");
+    cRxBytes_ = &stats_.counter("rx_bytes");
+    cRxWriteOps_ = &stats_.counter("rx_write_ops");
+    cRxCoalesced_ = &stats_.counter("rx_coalesced");
+    cRxFull_ = &stats_.counter("rx_full");
+    cRxConsRefreshes_ = &stats_.counter("rx_cons_refreshes");
+    cTxPolls_ = &stats_.counter("tx_polls");
+    cTxFetchOps_ = &stats_.counter("tx_fetch_ops");
+    cTxPopped_ = &stats_.counter("tx_popped");
+    cTxBytes_ = &stats_.counter("tx_bytes");
+    cTxConsCommits_ = &stats_.counter("tx_cons_commits");
 }
 
 void
@@ -57,7 +71,7 @@ SnicMqueue::refreshRxCons(sim::Core &core)
                              (static_cast<std::uint32_t>(buf[2]) << 16) |
                              (static_cast<std::uint32_t>(buf[3]) << 24);
     rxConsCache_ = advance(rxConsCache_, observed);
-    stats_.counter("rx_cons_refreshes").add();
+    cRxConsRefreshes_->add();
 }
 
 sim::Task
@@ -84,7 +98,7 @@ SnicMqueue::rxPush(sim::Core &core, std::span<const std::uint8_t> payload,
     if (rxProduced_ - rxConsCache_ >= layout_.slots) {
         co_await refreshRxCons(core);
         if (rxProduced_ - rxConsCache_ >= layout_.slots) {
-            stats_.counter("rx_full").add();
+            cRxFull_->add();
             co_return false;
         }
     }
@@ -122,11 +136,13 @@ SnicMqueue::rxPush(sim::Core &core, std::span<const std::uint8_t> payload,
                        static_cast<std::uint8_t>(s >> 8),
                        static_cast<std::uint8_t>(s >> 16),
                        static_cast<std::uint8_t>(s >> 24)});
+        cRxWriteOps_->add(3);
     } else if (cfg_.coalesceMetadata) {
         // One contiguous low-to-high write; doorbell bytes land last.
         co_await core.exec(qp_.path().postCost);
         qp_.postWrite(slotWriteOffset(slotEnd, meta.len),
                       encodeSlotWrite(payload, meta));
+        cRxWriteOps_->add();
     } else {
         // Separate data and metadata writes (2 ops; RC keeps order).
         co_await core.exec(qp_.path().postCost);
@@ -145,13 +161,101 @@ SnicMqueue::rxPush(sim::Core &core, std::span<const std::uint8_t> payload,
         putU32(12, meta.seq);
         co_await core.exec(qp_.path().postCost);
         qp_.postWrite(slotEnd - SlotMeta::bytes, std::move(metaBuf));
+        cRxWriteOps_->add(2);
     }
 
     LYNX_TRACE(sim_, "mqueue", name_, ": rx push seq ", meta.seq,
                " len ", meta.len, " tag ", meta.tag);
-    stats_.counter("rx_pushed").add();
-    stats_.counter("rx_bytes").add(meta.len);
+    cRxPushed_->add();
+    cRxBytes_->add(meta.len);
     co_return true;
+}
+
+sim::Co<std::size_t>
+SnicMqueue::rxPushBatch(sim::Core &core, std::span<const RxItem> items)
+{
+    // Modes that cannot coalesce across slots (the §5.1 barrier
+    // sequence is strictly per-message; split-write mode has no
+    // single contiguous image to emit) degrade to sequential pushes
+    // with identical per-message timing — as does maxBatch = 1.
+    if (cfg_.maxBatch <= 1 || cfg_.writeBarrier ||
+        !cfg_.coalesceMetadata) {
+        std::size_t n = 0;
+        for (const RxItem &it : items) {
+            bool ok = co_await rxPush(core, it.payload, it.tag, it.err);
+            if (!ok)
+                break;
+            ++n;
+        }
+        co_return n;
+    }
+
+    for (const RxItem &it : items) {
+        LYNX_ASSERT(it.payload.size() <= layout_.maxPayload(), name_,
+                    ": payload exceeds slot capacity");
+    }
+
+    std::size_t accepted = 0;
+    std::vector<SlotRecord> recs;
+    recs.reserve(std::min<std::size_t>(
+        items.size(), static_cast<std::size_t>(cfg_.maxBatch)));
+    while (accepted < items.size()) {
+        // Same credit prefetch / lazy refresh discipline as rxPush,
+        // applied once per segment instead of once per message.
+        if (!refreshInFlight_ &&
+            rxProduced_ - rxConsCache_ >= layout_.slots / 2) {
+            sim::spawn(sim_, asyncRefresh(core));
+        }
+        if (rxProduced_ - rxConsCache_ >= layout_.slots) {
+            co_await refreshRxCons(core);
+            if (rxProduced_ - rxConsCache_ >= layout_.slots) {
+                cRxFull_->add();
+                break;
+            }
+        }
+        std::uint64_t avail =
+            layout_.slots - (rxProduced_ - rxConsCache_);
+        std::size_t k = items.size() - accepted;
+        k = std::min<std::size_t>(k, avail);
+        k = std::min<std::size_t>(
+            k, static_cast<std::size_t>(cfg_.maxBatch));
+        // One segment must stay contiguous in the ring: stop at the
+        // wrap boundary and emit the remainder as the next segment.
+        k = std::min<std::size_t>(
+            k, layout_.slots - rxProduced_ % layout_.slots);
+
+        // Claim the whole segment before any suspension point so
+        // concurrent pushers never pick overlapping slots.
+        std::uint64_t firstSlot = rxProduced_;
+        rxProduced_ += k;
+
+        recs.clear();
+        std::uint64_t segBytes = 0;
+        for (std::size_t j = 0; j < k; ++j) {
+            const RxItem &it = items[accepted + j];
+            SlotMeta meta;
+            meta.len = static_cast<std::uint32_t>(it.payload.size());
+            meta.tag = it.tag;
+            meta.err = it.err;
+            meta.seq = static_cast<std::uint32_t>(firstSlot + j + 1);
+            recs.push_back(SlotRecord{it.payload, meta});
+            segBytes += meta.len;
+        }
+        auto [off, buf] = encodeRxBatchSegment(layout_, firstSlot, recs);
+        // One post, one RDMA write, one trailing doorbell for the
+        // whole segment.
+        co_await core.exec(qp_.path().postCost);
+        qp_.postWrite(off, std::move(buf));
+        LYNX_TRACE(sim_, "mqueue", name_, ": rx batch seq ",
+                   firstSlot + 1, "..", firstSlot + k, " (", segBytes,
+                   " B payload)");
+        cRxWriteOps_->add();
+        cRxCoalesced_->add(k - 1);
+        cRxPushed_->add(k);
+        cRxBytes_->add(segBytes);
+        accepted += k;
+    }
+    co_return accepted;
 }
 
 sim::Co<std::optional<TxMessage>>
@@ -166,7 +270,7 @@ SnicMqueue::pollTx(sim::Core &core)
     // hit. Misses are free: the forwarder only polls queues whose
     // doorbell watchpoint fired, and pays the round-robin scan cost
     // separately.
-    stats_.counter("tx_polls").add();
+    cTxPolls_->add();
     std::uint64_t slotEnd = layout_.txSlotEnd(txConsumed_);
     SlotMeta meta = readSlotMeta(qp_.target(), slotEnd);
     if (meta.seq != static_cast<std::uint32_t>(txConsumed_ + 1))
@@ -184,9 +288,62 @@ SnicMqueue::pollTx(sim::Core &core)
     ++txConsumed_;
     LYNX_TRACE(sim_, "mqueue", name_, ": tx pop seq ", meta.seq,
                " len ", meta.len, " tag ", meta.tag);
-    stats_.counter("tx_popped").add();
-    stats_.counter("tx_bytes").add(meta.len);
+    cTxFetchOps_->add();
+    cTxPopped_->add();
+    cTxBytes_->add(meta.len);
     co_return msg;
+}
+
+sim::Co<std::vector<TxMessage>>
+SnicMqueue::pollTxBatch(sim::Core &core, std::size_t maxN)
+{
+    // Doorbell scan against current memory — exact for the same
+    // reason pollTx's check is (a slot is never rewritten before its
+    // credit returns), so every slot ready now is still intact when
+    // the pipelined fetch lands.
+    cTxPolls_->add();
+    std::size_t k = 0;
+    std::uint64_t fetchBytes = 0;
+    std::vector<SlotMeta> metas;
+    while (k < maxN && k < layout_.slots) {
+        SlotMeta meta =
+            readSlotMeta(qp_.target(), layout_.txSlotEnd(txConsumed_ + k));
+        if (meta.seq !=
+            static_cast<std::uint32_t>(txConsumed_ + k + 1))
+            break;
+        fetchBytes += meta.len + SlotMeta::bytes;
+        metas.push_back(meta);
+        ++k;
+    }
+    if (k == 0)
+        co_return std::vector<TxMessage>{};
+
+    // One pipelined fetch for the whole run: a single post cost, the
+    // fixed fetch latency once, and the serialization of every slot.
+    co_await core.exec(qp_.path().postCost);
+    co_await sim::sleep(qp_.path().nicLatency + qp_.path().oneWay +
+                        qp_.path().serialization(fetchBytes));
+
+    std::vector<TxMessage> out;
+    out.reserve(k);
+    std::uint64_t payloadBytes = 0;
+    for (std::size_t j = 0; j < k; ++j) {
+        TxMessage msg;
+        msg.payload = readSlotPayload(
+            qp_.target(), layout_.txSlotEnd(txConsumed_ + j), metas[j]);
+        msg.tag = metas[j].tag;
+        msg.err = metas[j].err;
+        payloadBytes += metas[j].len;
+        out.push_back(std::move(msg));
+    }
+    txConsumed_ += k;
+    LYNX_TRACE(sim_, "mqueue", name_, ": tx batch pop seq ",
+               txConsumed_ - k + 1, "..", txConsumed_, " (",
+               payloadBytes, " B payload)");
+    cTxFetchOps_->add();
+    cTxPopped_->add(k);
+    cTxBytes_->add(payloadBytes);
+    co_return out;
 }
 
 sim::Co<void>
@@ -202,7 +359,7 @@ SnicMqueue::commitTxCons(sim::Core &core)
                    static_cast<std::uint8_t>(v >> 8),
                    static_cast<std::uint8_t>(v >> 16),
                    static_cast<std::uint8_t>(v >> 24)});
-    stats_.counter("tx_cons_commits").add();
+    cTxConsCommits_->add();
 }
 
 std::optional<std::uint32_t>

@@ -60,6 +60,14 @@ struct SnicMqueueConfig
      *  RDMA read barrier + doorbell write (§5.1; adds ~5 us and
      *  disables coalescing). */
     bool writeBarrier = false;
+
+    /** Maximum messages rxPushBatch() emits as ONE coalesced RDMA
+     *  write (one post cost, one trailing doorbell). 1 = per-message
+     *  writes, exactly the unbatched behaviour. Batch writes fall
+     *  back to per-slot pushes at a ring-wrap boundary (each segment
+     *  stays contiguous) and under `writeBarrier`/split-write modes
+     *  (see docs/INTERNALS.md §5). */
+    int maxBatch = 1;
 };
 
 /** A message popped from an mqueue's TX ring. */
@@ -108,11 +116,50 @@ class SnicMqueue
                          std::span<const std::uint8_t> payload,
                          std::uint32_t tag, std::uint32_t err = 0);
 
+    /** One message of an rxPushBatch() call. */
+    struct RxItem
+    {
+        std::span<const std::uint8_t> payload;
+        std::uint32_t tag = 0;
+        std::uint32_t err = 0;
+    };
+
+    /**
+     * Push @p items into the RX ring, coalescing up to
+     * `cfg.maxBatch` contiguous slots per RDMA write: one post cost
+     * and one trailing doorbell cover the whole segment. Segments
+     * split at ring-wrap boundaries; with `maxBatch` 1, write-barrier
+     * or split-write modes this degrades to sequential rxPush()
+     * calls with identical timing.
+     * @return how many messages were accepted (a prefix of @p items;
+     * fewer than items.size() means the ring filled up).
+     */
+    sim::Co<std::size_t> rxPushBatch(sim::Core &core,
+                                     std::span<const RxItem> items);
+
     /**
      * Try to pop the next TX-ring message: one RDMA slot read.
      * @return the message if its doorbell had been rung.
      */
     sim::Co<std::optional<TxMessage>> pollTx(sim::Core &core);
+
+    /**
+     * Pop every ready TX-ring message (up to @p maxN) in ONE
+     * pipelined RDMA fetch: a single post cost plus the serialization
+     * of all ready slots, instead of a post + fetch round per slot.
+     * @return the popped messages, in seq order (empty if none ready).
+     */
+    sim::Co<std::vector<TxMessage>> pollTxBatch(sim::Core &core,
+                                                std::size_t maxN);
+
+    /** @return RX messages pushed but (as far as the cached consumer
+     *  register shows) not yet consumed by the accelerator. Free —
+     *  no RDMA; may over-estimate until the next cache refresh. */
+    std::uint64_t
+    rxBacklogEstimate() const
+    {
+        return rxProduced_ - rxConsCache_;
+    }
 
     /** @return whether TX credit must be committed (pending pops). */
     bool txCommitPending() const { return txCommitted_ != txConsumed_; }
@@ -129,6 +176,15 @@ class SnicMqueue
     /** @{ Server-queue tag table. */
     std::optional<std::uint32_t> allocTag(const ClientRef &client);
     ClientRef releaseTag(std::uint32_t tag);
+
+    /** @return requests with an allocated tag, i.e. dispatched but
+     *  not yet answered. Exact and SNIC-local (no RDMA), unlike
+     *  rxBacklogEstimate()'s stale consumer cache. */
+    std::size_t
+    tagsInFlight() const
+    {
+        return tags_.size() - freeTags_.size();
+    }
     /** @} */
 
     /** @{ Client-queue pending-request FIFO.
@@ -197,6 +253,20 @@ class SnicMqueue
     bool txWatchInstalled_ = false;
 
     sim::StatSet stats_;
+
+    /** Hot-path counters, resolved once at construction (a string
+     *  lookup per message would dominate the simulator hot loop). */
+    sim::Counter *cRxPushed_;
+    sim::Counter *cRxBytes_;
+    sim::Counter *cRxWriteOps_;
+    sim::Counter *cRxCoalesced_;
+    sim::Counter *cRxFull_;
+    sim::Counter *cRxConsRefreshes_;
+    sim::Counter *cTxPolls_;
+    sim::Counter *cTxFetchOps_;
+    sim::Counter *cTxPopped_;
+    sim::Counter *cTxBytes_;
+    sim::Counter *cTxConsCommits_;
 };
 
 } // namespace lynx::core
