@@ -194,6 +194,58 @@ constexpr Tick snicPollBackoffMin = nanoseconds(100);
 constexpr Tick snicPollBackoffMax = nanoseconds(1000);
 
 /*
+ * ----- Fault tolerance: RDMA retries & mqueue failover (extension) -----
+ *
+ * The paper's prototype assumes a healthy fabric; this reproduction
+ * adds a calibrated recovery stack so the chaos suite can exercise
+ * loss, corruption, delay and partitions without ever corrupting a
+ * payload. Transport-level numbers follow InfiniBand RC practice
+ * (retry_cnt = 3 is the canonical default; the retransmit timeout is
+ * a few RTTs of the 4 us-each-way remote path). Software-level
+ * numbers are sized so a transient fault burst is ridden out in
+ * < 1 ms while a genuine partition is declared dead after ~2 ms of
+ * consecutive failures — small against the 50 ms backend response
+ * timeout already in BackendRoute.
+ */
+
+/** Hardware retransmissions per work request (IB retry_cnt). */
+constexpr int rdmaHwRetries = 3;
+
+/** Transport retransmission timeout per lost/corrupted attempt:
+ *  roughly 2x the remote round trip (2 x 2 x 4 us). */
+constexpr Tick rdmaRetransmitDelay = microseconds(16);
+
+/** Software re-attempts after a completion error. Four attempts on
+ *  top of the hardware budget mean a drop burst must survive
+ *  (1 + hwRetries) x (1 + swRetries) = 20 consecutive judgements to
+ *  kill a queue — vanishingly unlikely under transient loss, certain
+ *  under a partition. */
+constexpr int rdmaSwRetryLimit = 4;
+
+/** Exponential software backoff: 2, 4, 8, ... us, capped at 64 us
+ *  (past the cap a partition is better handled by failover than by
+ *  waiting). */
+constexpr Tick rdmaSwBackoffBase = microseconds(2);
+constexpr Tick rdmaSwBackoffMax = microseconds(64);
+
+/** Health-monitor sweep period. 1 ms resolves a dead accelerator
+ *  ~50x faster than the backend response timeout while adding only
+ *  a handful of events per simulated millisecond. */
+constexpr Tick failoverCheckInterval = sim::milliseconds(1);
+
+/** Consecutive no-progress sweeps (with work in flight) before a
+ *  queue is declared dead: 3 sweeps = 3 ms, an order of magnitude
+ *  above the worst-case healthy service time of the LeNet kernel
+ *  (~278 us), so a merely-slow accelerator is never killed. */
+constexpr int failoverDeadStrikes = 3;
+
+/** Revival probe period for dead queues. 5x the check interval:
+ *  probing is cheap (one RDMA read) but each failed probe burns the
+ *  hardware retransmit budget, so probing slower than detection
+ *  keeps the dead path quiet. */
+constexpr Tick failoverProbeInterval = sim::milliseconds(5);
+
+/*
  * ----- Accelerator-side I/O (gio) -----
  */
 

@@ -50,6 +50,12 @@ struct DispatcherConfig
     /** Messages staged per mqueue before a batched RX push; 1 =
      *  immediate per-message rxPush, exactly the unbatched path. */
     int maxBatch = 1;
+
+    /** Keep a copy of each request payload in its ClientRef while
+     *  the request is in flight, so failover can re-queue the work
+     *  of a dead mqueue to a surviving one. Off (default) = no copy,
+     *  the seed's zero-retention behaviour. */
+    bool retainPayloads = false;
 };
 
 /** Dispatches one service's ingress traffic to its mqueues. */
@@ -62,8 +68,11 @@ class Dispatcher
           cDroppedOversized_(&stats_.counter("dropped_oversized")),
           cDroppedNoTag_(&stats_.counter("dropped_no_tag")),
           cDroppedRingFull_(&stats_.counter("dropped_ring_full")),
+          cDroppedTransport_(&stats_.counter("dropped_transport")),
+          cDroppedNoLive_(&stats_.counter("dropped_no_live_queue")),
           cDispatched_(&stats_.counter("dispatched")),
-          cBatchFlushes_(&stats_.counter("batch_flushes"))
+          cBatchFlushes_(&stats_.counter("batch_flushes")),
+          cRequeued_(&stats_.counter("requeued"))
     {}
 
     Dispatcher(std::string name, DispatchPolicy policy,
@@ -82,6 +91,7 @@ class Dispatcher
         LYNX_ASSERT(mq->kind() == MqueueKind::Server,
                     "dispatcher targets must be server mqueues");
         queues_.push_back(mq);
+        dead_.push_back(0);
         staged_.emplace_back();
         staged_.back().reserve(
             cfg_.maxBatch > 1 ? static_cast<std::size_t>(cfg_.maxBatch)
@@ -90,6 +100,24 @@ class Dispatcher
 
     /** @return registered queue count. */
     std::size_t queueCount() const { return queues_.size(); }
+
+    /** @return queue @p qi (health monitor / test access). */
+    SnicMqueue &queueAt(std::size_t qi) { return *queues_[qi]; }
+
+    /** Exclude (or re-admit) queue @p qi from dispatch decisions.
+     *  Set by the health monitor around failover; all-alive routing
+     *  is bit-identical to the seed's. */
+    void
+    setQueueDead(std::size_t qi, bool dead)
+    {
+        dead_[qi] = dead ? 1 : 0;
+    }
+
+    /** @return whether @p qi is excluded from dispatch. */
+    bool queueDead(std::size_t qi) const { return dead_[qi] != 0; }
+
+    /** @return whether in-flight payloads are retained (failover). */
+    bool retainsPayloads() const { return cfg_.retainPayloads; }
 
     /**
      * Dispatch @p msg: pick an mqueue, allocate a response tag for
@@ -104,6 +132,13 @@ class Dispatcher
         LYNX_ASSERT(!queues_.empty(), name_, ": no mqueues registered");
         co_await core.exec(cfg_.dispatchCpu);
         std::size_t qi = pickIndex(msg);
+        if (qi == kNoQueue) {
+            // Every mqueue is dead or transport-failed: the sentinel
+            // drop keeps "no silent loss" — the request is reported,
+            // not forgotten.
+            cDroppedNoLive_->add();
+            co_return;
+        }
         SnicMqueue &mq = *queues_[qi];
         if (msg.size() > mq.layout().maxPayload()) {
             // Larger than a ring slot: drop like an oversized
@@ -111,9 +146,13 @@ class Dispatcher
             cDroppedOversized_->add();
             co_return;
         }
-        ClientRef client{msg.src, msg.proto};
+        ClientRef client;
+        client.addr = msg.src;
+        client.proto = msg.proto;
         client.seq = msg.seq;
         client.sentAt = msg.sentAt;
+        if (cfg_.retainPayloads)
+            client.payload = msg.payload;
         auto tag = mq.allocTag(client);
         if (!tag) {
             cDroppedNoTag_->add();
@@ -122,7 +161,16 @@ class Dispatcher
         if (cfg_.maxBatch <= 1) {
             bool ok = co_await mq.rxPush(core, msg.payload, *tag);
             if (!ok) {
-                mq.releaseTag(*tag);
+                auto c = mq.tryReleaseTag(*tag);
+                if (mq.transportDead() && c) {
+                    // The push died on the wire, not on a full ring:
+                    // try a surviving queue right away.
+                    if (co_await redispatch(core, std::move(msg.payload),
+                                            std::move(*c)))
+                        co_return;
+                    cDroppedTransport_->add();
+                    co_return;
+                }
                 cDroppedRingFull_->add();
                 co_return;
             }
@@ -170,6 +218,88 @@ class Dispatcher
                 co_await flushQueue(core, qi);
     }
 
+    /**
+     * Failover drain of queue @p qi (health monitor, after
+     * setQueueDead): release every in-flight tag — staged and already
+     * pushed — and re-queue the retained request payloads to
+     * surviving mqueues. Requests without a retained payload (or with
+     * no live queue left) are dropped and counted.
+     * @return how many requests were successfully re-queued.
+     */
+    sim::Co<std::size_t>
+    evacuate(sim::Core &core, std::size_t qi)
+    {
+        SnicMqueue &mq = *queues_[qi];
+        std::size_t moved = 0;
+
+        // Staged but never pushed: their payloads are at hand
+        // regardless of the retention knob.
+        std::vector<Staged> batch = std::move(staged_[qi]);
+        staged_[qi].clear();
+        stagedCount_ -= batch.size();
+        for (Staged &s : batch) {
+            auto c = mq.tryReleaseTag(s.tag);
+            if (!c) {
+                cDroppedTransport_->add();
+                continue;
+            }
+            if (co_await redispatch(core, std::move(s.payload),
+                                    std::move(*c)))
+                ++moved;
+        }
+
+        // Pushed and unanswered: only re-queueable with retention.
+        for (std::uint32_t tag : mq.allocatedTags()) {
+            auto c = mq.tryReleaseTag(tag);
+            if (!c)
+                continue;
+            if (c->payload.empty() && !cfg_.retainPayloads) {
+                cDroppedTransport_->add();
+                continue;
+            }
+            std::vector<std::uint8_t> payload = c->payload;
+            if (co_await redispatch(core, std::move(payload),
+                                    std::move(*c)))
+                ++moved;
+        }
+        cRequeued_->add(moved);
+        co_return moved;
+    }
+
+    /**
+     * Route one request (an evacuated in-flight one, or a push whose
+     * transport just died) to a live, transport-healthy mqueue with
+     * an immediate (unstaged) push.
+     * @return whether some queue accepted it; false = dropped and
+     * counted under dropped_no_live_queue.
+     */
+    sim::Co<bool>
+    redispatch(sim::Core &core, std::vector<std::uint8_t> payload,
+               ClientRef client)
+    {
+        for (std::size_t tries = queues_.size(); tries > 0; --tries) {
+            std::size_t qi = pickLive(client);
+            if (qi == kNoQueue)
+                break;
+            SnicMqueue &mq = *queues_[qi];
+            ClientRef c = client;
+            if (cfg_.retainPayloads)
+                c.payload = payload;
+            auto tag = mq.allocTag(c);
+            if (!tag)
+                continue;
+            if (co_await mq.rxPush(core, payload, *tag)) {
+                cDispatched_->add();
+                co_return true;
+            }
+            mq.tryReleaseTag(*tag);
+            // That queue just failed too; the next iteration skips it
+            // (transportDead) or gives up.
+        }
+        cDroppedNoLive_->add();
+        co_return false;
+    }
+
     sim::StatSet &stats() { return stats_; }
 
   private:
@@ -193,33 +323,97 @@ class Dispatcher
         for (const Staged &s : batch)
             items.push_back({s.payload, s.tag, 0});
         std::size_t accepted = co_await mq.rxPushBatch(core, items);
+        bool transport = mq.transportDead();
         for (std::size_t j = accepted; j < batch.size(); ++j) {
-            mq.releaseTag(batch[j].tag);
+            auto c = mq.tryReleaseTag(batch[j].tag);
+            if (transport && c) {
+                if (co_await redispatch(core,
+                                        std::move(batch[j].payload),
+                                        std::move(*c)))
+                    continue;
+                cDroppedTransport_->add();
+                continue;
+            }
             cDroppedRingFull_->add();
         }
         cDispatched_->add(accepted);
         cBatchFlushes_->add();
     }
 
+    static constexpr std::size_t kNoQueue =
+        static_cast<std::size_t>(-1);
+
+    /** @return whether @p qi can take new work right now. */
+    bool
+    usable(std::size_t qi) const
+    {
+        return dead_[qi] == 0 && !queues_[qi]->transportDead();
+    }
+
     std::size_t
     pickIndex(const net::Message &msg)
     {
+        // All-alive fast paths are bit-identical to the seed policy:
+        // RoundRobin advances rr_ exactly once, SourceHash probes its
+        // home index first.
         switch (policy_) {
           case DispatchPolicy::RoundRobin:
-            return rr_++ % queues_.size();
+            for (std::size_t i = 0; i < queues_.size(); ++i) {
+                std::size_t qi = rr_++ % queues_.size();
+                if (usable(qi))
+                    return qi;
+            }
+            return kNoQueue;
           case DispatchPolicy::SourceHash: {
             std::uint64_t h = msg.src.node * 0x9e3779b97f4a7c15ull +
                               msg.src.port * 0x85ebca6bull;
-            return h % queues_.size();
+            // Linear probe from the home queue: a client keeps its
+            // queue while it is alive and lands on a stable fallback
+            // while it is not.
+            for (std::size_t i = 0; i < queues_.size(); ++i) {
+                std::size_t qi = (h + i) % queues_.size();
+                if (usable(qi))
+                    return qi;
+            }
+            return kNoQueue;
           }
         }
         return 0;
+    }
+
+    /** pickIndex for requests without an ingress message (failover
+     *  re-queueing): same policies keyed on the stored client. */
+    std::size_t
+    pickLive(const ClientRef &client)
+    {
+        switch (policy_) {
+          case DispatchPolicy::RoundRobin:
+            for (std::size_t i = 0; i < queues_.size(); ++i) {
+                std::size_t qi = rr_++ % queues_.size();
+                if (usable(qi))
+                    return qi;
+            }
+            return kNoQueue;
+          case DispatchPolicy::SourceHash: {
+            std::uint64_t h = client.addr.node * 0x9e3779b97f4a7c15ull +
+                              client.addr.port * 0x85ebca6bull;
+            for (std::size_t i = 0; i < queues_.size(); ++i) {
+                std::size_t qi = (h + i) % queues_.size();
+                if (usable(qi))
+                    return qi;
+            }
+            return kNoQueue;
+          }
+        }
+        return kNoQueue;
     }
 
     std::string name_;
     DispatchPolicy policy_;
     DispatcherConfig cfg_;
     std::vector<SnicMqueue *> queues_;
+    /** Failover exclusion flags (parallel to queues_). */
+    std::vector<char> dead_;
     /** Per-queue staged batches (parallel to queues_). */
     std::vector<std::vector<Staged>> staged_;
     std::size_t stagedCount_ = 0;
@@ -230,8 +424,11 @@ class Dispatcher
     sim::Counter *cDroppedOversized_;
     sim::Counter *cDroppedNoTag_;
     sim::Counter *cDroppedRingFull_;
+    sim::Counter *cDroppedTransport_;
+    sim::Counter *cDroppedNoLive_;
     sim::Counter *cDispatched_;
     sim::Counter *cBatchFlushes_;
+    sim::Counter *cRequeued_;
 };
 
 } // namespace lynx::core

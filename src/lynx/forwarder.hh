@@ -68,6 +68,13 @@ struct ForwarderConfig
     bool adaptivePoll = false;
     sim::Tick pollBackoffMin = sim::nanoseconds(100);
     sim::Tick pollBackoffMax = sim::nanoseconds(1000);
+
+    /** Drop (and count) responses whose tag no longer matches a
+     *  live allocation instead of treating them as a fatal protocol
+     *  violation. Required under failover: a revived accelerator may
+     *  answer requests whose tags were drained and re-queued. Off
+     *  (default) keeps the seed's strict assert. */
+    bool tolerateStaleTags = false;
 };
 
 /** Egress pump for one accelerator's mqueues. */
@@ -87,7 +94,8 @@ class Forwarder
           activity_(sim),
           cResponses_(&stats_.counter("responses")),
           cBackendRequests_(&stats_.counter("backend_requests")),
-          cBatchFetches_(&stats_.counter("batch_fetches"))
+          cBatchFetches_(&stats_.counter("batch_fetches")),
+          cStaleResponses_(&stats_.counter("stale_responses"))
     {
         queues_.reserve(8);
     }
@@ -145,6 +153,13 @@ class Forwarder
             for (auto &e : queues_) {
                 if (!e.pendingTx)
                     continue;
+                if (e.mq->transportDead()) {
+                    // Leave the flag armed and skip: polling a dead
+                    // transport would burn a retry budget per sweep.
+                    // The monitor's revival nudgeTx() reopens the
+                    // gate once the queue is reachable again.
+                    continue;
+                }
                 e.pendingTx = false;
                 if (cfg_.maxBatch > 1) {
                     // Drain in pipelined batches: one RDMA fetch per
@@ -172,6 +187,14 @@ class Forwarder
                 }
                 if (e.mq->txCommitPending())
                     co_await e.mq->commitTxCons(core_);
+                if (e.mq->transportDead()) {
+                    // The drain aborted on a dead transport, so the
+                    // ring may still hold rung doorbells. Re-arm the
+                    // pending flag; the health monitor's revival
+                    // nudgeTx() reopens the activity gate, and the
+                    // loop parks (not spins) until then.
+                    e.pendingTx = true;
+                }
             }
             if (progress) {
                 lastProgress = sim_.now();
@@ -200,7 +223,22 @@ class Forwarder
         net::Message out;
         out.payload = std::move(txm.payload);
         if (e.mq->kind() == MqueueKind::Server) {
-            ClientRef client = e.mq->releaseTag(txm.tag);
+            ClientRef client;
+            if (cfg_.tolerateStaleTags) {
+                auto c = e.mq->tryReleaseTag(txm.tag);
+                if (!c) {
+                    // A drained-and-re-queued request's original
+                    // answer, arriving after failover: the client
+                    // already gets (or got) the re-queued copy's
+                    // response, so this one is dropped — duplicates
+                    // and misdeliveries are both impossible.
+                    cStaleResponses_->add();
+                    co_return;
+                }
+                client = std::move(*c);
+            } else {
+                client = e.mq->releaseTag(txm.tag);
+            }
             out.src = net::Address{nic_.node(), e.servicePort};
             out.dst = client.addr;
             out.proto = client.proto;
@@ -241,6 +279,7 @@ class Forwarder
     sim::Counter *cResponses_;
     sim::Counter *cBackendRequests_;
     sim::Counter *cBatchFetches_;
+    sim::Counter *cStaleResponses_;
 };
 
 } // namespace lynx::core

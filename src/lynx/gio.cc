@@ -57,8 +57,29 @@ AccelQueue::recv()
         std::uint64_t slotEnd = layout_.rxSlotEnd(rxConsumed_);
         SlotMeta meta = readSlotMeta(mem_, slotEnd);
         if (meta.seq == static_cast<std::uint32_t>(rxConsumed_ + 1)) {
-            if (cfg_.rxBurst)
-                co_return co_await drainReady();
+            if (cfg_.rxBurst) {
+                co_await sweepReady();
+                if (!burst_.empty()) {
+                    GioMessage msg = std::move(burst_.front());
+                    burst_.pop_front();
+                    co_return msg;
+                }
+                // Every swept slot was a repaired-gap marker; keep
+                // waiting for a real message.
+                continue;
+            }
+            if (meta.err == kSlotSkipErr) {
+                // Repaired failover gap (zero-length skip slot):
+                // consume it internally — no application delivery,
+                // no response — and advance the consumer register so
+                // the SNIC's flow control sees the credit.
+                ++rxConsumed_;
+                mem_.writeU32(layout_.rxConsOff(),
+                              static_cast<std::uint32_t>(rxConsumed_));
+                co_await sim::sleep(cfg_.localLatency);
+                stats_.counter("rx_skipped").add();
+                continue;
+            }
             GioMessage msg;
             msg.tag = meta.tag;
             msg.err = meta.err;
@@ -79,16 +100,18 @@ AccelQueue::recv()
     }
 }
 
-sim::Co<GioMessage>
-AccelQueue::drainReady()
+sim::Co<void>
+AccelQueue::sweepReady()
 {
     // Multi-slot doorbell consumption: a batched SNIC write lands all
     // its doorbells atomically, so the run of consecutive ready slots
     // from rxConsumed_ is exactly the (tail of the) batch. The one
     // doorbell poll already paid by recv() discovered the whole run;
     // the sweep pays the payload copies and a single consumer-register
-    // update for all of it.
+    // update for all of it. Repaired-gap markers (kSlotSkipErr) are
+    // consumed but never staged for delivery.
     std::uint64_t drained = 0;
+    std::uint64_t skipped = 0;
     std::uint64_t sweptBytes = 0;
     for (;;) {
         std::uint64_t slotEnd = layout_.rxSlotEnd(rxConsumed_ + drained);
@@ -96,12 +119,16 @@ AccelQueue::drainReady()
         if (meta.seq !=
             static_cast<std::uint32_t>(rxConsumed_ + drained + 1))
             break;
-        GioMessage msg;
-        msg.tag = meta.tag;
-        msg.err = meta.err;
-        msg.payload = readSlotPayload(mem_, slotEnd, meta);
-        sweptBytes += meta.len;
-        burst_.push_back(std::move(msg));
+        if (meta.err == kSlotSkipErr) {
+            ++skipped;
+        } else {
+            GioMessage msg;
+            msg.tag = meta.tag;
+            msg.err = meta.err;
+            msg.payload = readSlotPayload(mem_, slotEnd, meta);
+            sweptBytes += meta.len;
+            burst_.push_back(std::move(msg));
+        }
         if (++drained == layout_.slots)
             break;
     }
@@ -112,12 +139,11 @@ AccelQueue::drainReady()
     mem_.writeU32(layout_.rxConsOff(),
                   static_cast<std::uint32_t>(rxConsumed_));
     co_await sim::sleep(cfg_.localLatency);
-    cRxMsgs_->add(drained);
+    cRxMsgs_->add(drained - skipped);
     cRxBytes_->add(sweptBytes);
     cRxBursts_->add();
-    GioMessage first = std::move(burst_.front());
-    burst_.pop_front();
-    co_return first;
+    if (skipped > 0)
+        stats_.counter("rx_skipped").add(skipped);
 }
 
 sim::Co<void>

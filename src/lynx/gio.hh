@@ -104,10 +104,11 @@ class AccelQueue
     sim::StatSet &stats() { return stats_; }
 
   private:
-    /** Sweep the run of consecutive ready RX slots into burst_ and
-     *  return the first message (rxBurst mode; @pre slot rxConsumed_
-     *  is ready and its poll latency has been paid). */
-    sim::Co<GioMessage> drainReady();
+    /** Sweep the run of consecutive ready RX slots into burst_
+     *  (rxBurst mode; @pre slot rxConsumed_ is ready and its poll
+     *  latency has been paid). Repaired-gap skip slots are consumed
+     *  without staging, so burst_ may stay empty. */
+    sim::Co<void> sweepReady();
 
     /** Extend 32-bit register value @p observed onto 64-bit @p cache. */
     static std::uint64_t

@@ -40,6 +40,16 @@
 
 namespace lynx::core {
 
+/**
+ * Reserved slot error status marking a repaired gap: when failover
+ * re-routes a dead mqueue's traffic, RX slots whose RDMA write was
+ * lost in a partition are rewritten on revival as zero-length
+ * messages with this error code so the accelerator's strict-seq
+ * consumption can advance past them. gio consumes such slots
+ * internally (no application delivery, no response).
+ */
+constexpr std::uint32_t kSlotSkipErr = 0xDEAD5C1Bu;
+
 /** Per-message metadata trailer (paper §5.1: "The metadata ...
  *  includes total message size, error status ... and notification
  *  register (doorbell) for the queue"). */

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "lynx/calibration.hh"
 #include "sim/trace.hh"
 #include "workload/loadgen.hh"
 
@@ -12,6 +13,19 @@ Runtime::Runtime(sim::Simulator &sim, RuntimeConfig cfg)
 {
     LYNX_FATAL_IF(cfg_.cores.empty(), "Lynx runtime needs worker cores");
     LYNX_FATAL_IF(!cfg_.nic, "Lynx runtime needs a NIC");
+    if (cfg_.failover.enabled) {
+        // Failover implies the signalled-write/retry machinery (dead
+        // transports must be *detected*) and stale-tag tolerance (a
+        // revived accelerator may answer drained requests). Respect
+        // an explicitly configured retry budget, otherwise install
+        // the calibrated one.
+        if (!cfg_.mq.retry.enabled()) {
+            cfg_.mq.retry.maxRetries = calibration::rdmaSwRetryLimit;
+            cfg_.mq.retry.backoffBase = calibration::rdmaSwBackoffBase;
+            cfg_.mq.retry.backoffMax = calibration::rdmaSwBackoffMax;
+        }
+        cfg_.forwarder.tolerateStaleTags = true;
+    }
 }
 
 AccelHandle &
@@ -47,7 +61,8 @@ Runtime::addService(ServiceConfig scfg)
     net::Endpoint &ep = cfg_.nic->bind(scfg.proto, scfg.port);
     services_.push_back(std::make_unique<Service>(
         scfg, ep,
-        DispatcherConfig{cfg_.dispatchCpu, cfg_.dispatchMaxBatch}));
+        DispatcherConfig{cfg_.dispatchCpu, cfg_.dispatchMaxBatch,
+                         cfg_.failover.enabled}));
     Service &svc = *services_.back();
 
     for (auto &accel : accels_) {
@@ -115,6 +130,14 @@ Runtime::start()
         sim::spawn(sim_, backendLoop(b.ref, *b.ep, b.proto, nextCore()));
     for (auto &accel : accels_)
         accel->startForwarders();
+    if (cfg_.failover.enabled) {
+        for (auto &svc : services_) {
+            monitors_.push_back(std::make_unique<HealthMonitor>(
+                sim_, svc->config().name + ".monitor",
+                svc->dispatcher(), nextCore(), cfg_.failover));
+            monitors_.back()->start();
+        }
+    }
 }
 
 sim::Task

@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "lynx/dispatcher.hh"
+#include "lynx/failover.hh"
 #include "lynx/forwarder.hh"
 #include "lynx/gio.hh"
 #include "lynx/snic_mqueue.hh"
@@ -235,6 +236,13 @@ struct RuntimeConfig
 
     /** Listener tasks per service (0 = one per worker core). */
     int listenersPerService = 0;
+
+    /** Fault-tolerance knobs. Enabling spawns a HealthMonitor per
+     *  service and switches on payload retention, stale-tag
+     *  tolerance and (unless already configured) the calibrated
+     *  software RDMA retry policy. Off (default) = seed behaviour,
+     *  bit-identical. */
+    FailoverConfig failover;
 };
 
 /** The SNIC-resident Lynx runtime. */
@@ -296,6 +304,13 @@ class Runtime
         return mqueues_;
     }
 
+    /** @return the per-service health monitors (empty unless
+     *  failover is enabled; populated by start()). */
+    const std::vector<std::unique_ptr<HealthMonitor>> &monitors() const
+    {
+        return monitors_;
+    }
+
     /** @return the runtime's NIC. */
     net::Nic &nic() { return *cfg_.nic; }
 
@@ -321,6 +336,7 @@ class Runtime
     std::vector<std::unique_ptr<AccelHandle>> accels_;
     std::vector<std::unique_ptr<Service>> services_;
     std::vector<std::unique_ptr<SnicMqueue>> mqueues_;
+    std::vector<std::unique_ptr<HealthMonitor>> monitors_;
 
     struct BackendBinding
     {

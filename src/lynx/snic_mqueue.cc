@@ -14,9 +14,14 @@ SnicMqueue::SnicMqueue(sim::Simulator &sim, std::string name,
       kind_(kind), cfg_(cfg)
 {
     // Tag table sized to cover every in-flight request: the RX ring
-    // bounds them, with slack for responses not yet forwarded.
+    // bounds them, with slack for responses not yet forwarded. Tag
+    // values carry the index in the low 16 bits and a generation in
+    // the high 16 (stale-response rejection after failover drains).
     std::uint32_t tableSize = layout_.slots * 2;
+    LYNX_ASSERT(tableSize <= 0x10000, name_,
+                ": tag table exceeds the 16-bit index space");
     tags_.resize(tableSize);
+    tagGen_.resize(tableSize, 0);
     for (std::uint32_t i = 0; i < tableSize; ++i)
         freeTags_.push_back(tableSize - 1 - i);
     pendingActivity_ = std::make_unique<sim::Gate>(sim);
@@ -32,6 +37,9 @@ SnicMqueue::SnicMqueue(sim::Simulator &sim, std::string name,
     cTxPopped_ = &stats_.counter("tx_popped");
     cTxBytes_ = &stats_.counter("tx_bytes");
     cTxConsCommits_ = &stats_.counter("tx_cons_commits");
+    cRdmaErrors_ = &stats_.counter("rdma_errors");
+    cRdmaRetries_ = &stats_.counter("rdma_retries");
+    cSlotsLost_ = &stats_.counter("slots_lost");
 }
 
 void
@@ -52,12 +60,63 @@ SnicMqueue::setTxActivityHandler(std::function<void()> fn)
 {
     if (txWatchInstalled_)
         qp_.target().unwatch(txWatchId_);
+    txActivityFn_ = std::move(fn);
     txWatchId_ = qp_.target().watch(layout_.txRingOff(),
                                     layout_.ringBytes(),
-                                    [fn = std::move(fn)](auto, auto) {
-                                        fn();
+                                    [this](auto, auto) {
+                                        txActivityFn_();
                                     });
     txWatchInstalled_ = true;
+}
+
+sim::Co<bool>
+SnicMqueue::pushWrite(sim::Core &core, std::uint64_t off,
+                      std::vector<std::uint8_t> buf)
+{
+    if (!cfg_.retry.enabled()) {
+        co_await core.exec(qp_.path().postCost);
+        qp_.postWrite(off, std::move(buf));
+        co_return true;
+    }
+    // Signalled write: completion errors (fault injection) surface
+    // here and are re-attempted under an exponential-backoff budget.
+    for (int attempt = 0;; ++attempt) {
+        co_await core.exec(qp_.path().postCost);
+        rdma::WcStatus st = co_await qp_.write(off, buf);
+        if (st == rdma::WcStatus::Ok)
+            co_return true;
+        cRdmaErrors_->add();
+        if (attempt >= cfg_.retry.maxRetries) {
+            transportDead_ = true;
+            co_return false;
+        }
+        cRdmaRetries_->add();
+        co_await sim::sleep(cfg_.retry.backoff(attempt));
+    }
+}
+
+sim::Co<bool>
+SnicMqueue::txFetch(sim::Core &core, std::uint64_t bytes)
+{
+    for (int attempt = 0;; ++attempt) {
+        co_await core.exec(qp_.path().postCost);
+        rdma::WcStatus st = co_await qp_.fetch(bytes);
+        if (st == rdma::WcStatus::Ok)
+            co_return true;
+        if (!cfg_.retry.enabled()) {
+            // Seed semantics: without the retry machinery the model
+            // reads target memory directly, so the data is usable
+            // even when the wire-level fetch was judged lost.
+            co_return true;
+        }
+        cRdmaErrors_->add();
+        if (attempt >= cfg_.retry.maxRetries) {
+            transportDead_ = true;
+            co_return false;
+        }
+        cRdmaRetries_->add();
+        co_await sim::sleep(cfg_.retry.backoff(attempt));
+    }
 }
 
 sim::Co<void>
@@ -65,7 +124,14 @@ SnicMqueue::refreshRxCons(sim::Core &core)
 {
     co_await core.exec(qp_.path().postCost);
     std::uint8_t buf[4];
-    co_await qp_.read(layout_.rxConsOff(), buf);
+    rdma::WcStatus st = co_await qp_.read(layout_.rxConsOff(), buf);
+    if (st != rdma::WcStatus::Ok) {
+        // The refresh is advisory (flow control): a failed read just
+        // leaves the cache stale and conservative. No retry here —
+        // a full-looking ring re-refreshes on the next push.
+        cRdmaErrors_->add();
+        co_return;
+    }
     std::uint32_t observed = static_cast<std::uint32_t>(buf[0]) |
                              (static_cast<std::uint32_t>(buf[1]) << 8) |
                              (static_cast<std::uint32_t>(buf[2]) << 16) |
@@ -117,37 +183,75 @@ SnicMqueue::rxPush(sim::Core &core, std::span<const std::uint8_t> payload,
     meta.seq = static_cast<std::uint32_t>(mySlot + 1);
     std::uint64_t slotEnd = layout_.rxSlotEnd(mySlot);
 
+    // A write whose retry budget is exhausted leaves a permanent gap
+    // at mySlot: the accelerator's strict-seq consumption would wedge
+    // on it. Record the slot so failover/revival can repair it with a
+    // kSlotSkipErr marker, and report failure to the caller.
+    auto lose = [&] {
+        lostSlots_.push_back(mySlot);
+        cSlotsLost_->add();
+    };
+
     if (cfg_.writeBarrier) {
         // §5.1 GPU consistency workaround: RDMA write of the data,
         // blocking RDMA read as a write barrier, RDMA write of the
-        // doorbell. Three posted ops, one of them blocking.
+        // doorbell. Three ops, one of them blocking.
         SlotMeta noBell = meta;
         noBell.seq = 0;
         auto buf = encodeSlotWrite(payload, noBell);
         buf.resize(buf.size() - 4); // everything but the doorbell
-        co_await core.exec(qp_.path().postCost);
-        qp_.postWrite(slotWriteOffset(slotEnd, meta.len), std::move(buf));
-        co_await core.exec(qp_.path().postCost);
-        co_await qp_.readBarrier();
-        co_await core.exec(qp_.path().postCost);
-        std::uint32_t s = meta.seq;
-        qp_.postWrite(slotEnd - 4,
-                      {static_cast<std::uint8_t>(s),
-                       static_cast<std::uint8_t>(s >> 8),
-                       static_cast<std::uint8_t>(s >> 16),
-                       static_cast<std::uint8_t>(s >> 24)});
         cRxWriteOps_->add(3);
+        if (!co_await pushWrite(core, slotWriteOffset(slotEnd, meta.len),
+                                std::move(buf))) {
+            lose();
+            co_return false;
+        }
+        bool barrierOk = false;
+        for (int attempt = 0;; ++attempt) {
+            co_await core.exec(qp_.path().postCost);
+            if (co_await qp_.readBarrier() == rdma::WcStatus::Ok) {
+                barrierOk = true;
+                break;
+            }
+            if (!cfg_.retry.enabled())
+                break; // seed semantics: barrier errors are invisible
+            cRdmaErrors_->add();
+            if (attempt >= cfg_.retry.maxRetries) {
+                transportDead_ = true;
+                break;
+            }
+            cRdmaRetries_->add();
+            co_await sim::sleep(cfg_.retry.backoff(attempt));
+        }
+        if (cfg_.retry.enabled() && !barrierOk) {
+            lose();
+            co_return false;
+        }
+        std::uint32_t s = meta.seq;
+        std::vector<std::uint8_t> bell{static_cast<std::uint8_t>(s),
+                                       static_cast<std::uint8_t>(s >> 8),
+                                       static_cast<std::uint8_t>(s >> 16),
+                                       static_cast<std::uint8_t>(s >> 24)};
+        if (!co_await pushWrite(core, slotEnd - 4, std::move(bell))) {
+            lose();
+            co_return false;
+        }
     } else if (cfg_.coalesceMetadata) {
         // One contiguous low-to-high write; doorbell bytes land last.
-        co_await core.exec(qp_.path().postCost);
-        qp_.postWrite(slotWriteOffset(slotEnd, meta.len),
-                      encodeSlotWrite(payload, meta));
         cRxWriteOps_->add();
+        if (!co_await pushWrite(core, slotWriteOffset(slotEnd, meta.len),
+                                encodeSlotWrite(payload, meta))) {
+            lose();
+            co_return false;
+        }
     } else {
         // Separate data and metadata writes (2 ops; RC keeps order).
-        co_await core.exec(qp_.path().postCost);
-        qp_.postWrite(slotWriteOffset(slotEnd, meta.len),
-                      {payload.begin(), payload.end()});
+        cRxWriteOps_->add(2);
+        if (!co_await pushWrite(core, slotWriteOffset(slotEnd, meta.len),
+                                {payload.begin(), payload.end()})) {
+            lose();
+            co_return false;
+        }
         std::vector<std::uint8_t> metaBuf(SlotMeta::bytes);
         auto putU32 = [&](std::size_t off, std::uint32_t v) {
             metaBuf[off] = static_cast<std::uint8_t>(v);
@@ -159,9 +263,11 @@ SnicMqueue::rxPush(sim::Core &core, std::span<const std::uint8_t> payload,
         putU32(4, meta.tag);
         putU32(8, meta.err);
         putU32(12, meta.seq);
-        co_await core.exec(qp_.path().postCost);
-        qp_.postWrite(slotEnd - SlotMeta::bytes, std::move(metaBuf));
-        cRxWriteOps_->add(2);
+        if (!co_await pushWrite(core, slotEnd - SlotMeta::bytes,
+                                std::move(metaBuf))) {
+            lose();
+            co_return false;
+        }
     }
 
     LYNX_TRACE(sim_, "mqueue", name_, ": rx push seq ", meta.seq,
@@ -244,8 +350,16 @@ SnicMqueue::rxPushBatch(sim::Core &core, std::span<const RxItem> items)
         auto [off, buf] = encodeRxBatchSegment(layout_, firstSlot, recs);
         // One post, one RDMA write, one trailing doorbell for the
         // whole segment.
-        co_await core.exec(qp_.path().postCost);
-        qp_.postWrite(off, std::move(buf));
+        if (!co_await pushWrite(core, off, std::move(buf))) {
+            // Retry budget exhausted: the whole claimed segment is a
+            // sequence gap for the repair pass; the unaccepted suffix
+            // is reported back to the caller.
+            for (std::size_t j = 0; j < k; ++j)
+                lostSlots_.push_back(firstSlot + j);
+            cSlotsLost_->add(k);
+            cRxWriteOps_->add();
+            break;
+        }
         LYNX_TRACE(sim_, "mqueue", name_, ": rx batch seq ",
                    firstSlot + 1, "..", firstSlot + k, " (", segBytes,
                    " B payload)");
@@ -276,10 +390,8 @@ SnicMqueue::pollTx(sim::Core &core)
     if (meta.seq != static_cast<std::uint32_t>(txConsumed_ + 1))
         co_return std::nullopt;
 
-    co_await core.exec(qp_.path().postCost);
-    co_await sim::sleep(qp_.path().nicLatency + qp_.path().oneWay +
-                        qp_.path().serialization(meta.len +
-                                                 SlotMeta::bytes));
+    if (!co_await txFetch(core, meta.len + SlotMeta::bytes))
+        co_return std::nullopt;
 
     TxMessage msg;
     msg.payload = readSlotPayload(qp_.target(), slotEnd, meta);
@@ -320,9 +432,8 @@ SnicMqueue::pollTxBatch(sim::Core &core, std::size_t maxN)
 
     // One pipelined fetch for the whole run: a single post cost, the
     // fixed fetch latency once, and the serialization of every slot.
-    co_await core.exec(qp_.path().postCost);
-    co_await sim::sleep(qp_.path().nicLatency + qp_.path().oneWay +
-                        qp_.path().serialization(fetchBytes));
+    if (!co_await txFetch(core, fetchBytes))
+        co_return std::vector<TxMessage>{};
 
     std::vector<TxMessage> out;
     out.reserve(k);
@@ -351,14 +462,22 @@ SnicMqueue::commitTxCons(sim::Core &core)
 {
     if (txCommitted_ == txConsumed_)
         co_return;
-    txCommitted_ = txConsumed_;
-    std::uint32_t v = static_cast<std::uint32_t>(txConsumed_);
-    co_await core.exec(qp_.path().postCost);
-    qp_.postWrite(layout_.txConsOff(),
-                  {static_cast<std::uint8_t>(v),
-                   static_cast<std::uint8_t>(v >> 8),
-                   static_cast<std::uint8_t>(v >> 16),
-                   static_cast<std::uint8_t>(v >> 24)});
+    std::uint64_t target = txConsumed_;
+    if (!cfg_.retry.enabled()) {
+        // Mark committed before suspending so a concurrent commit
+        // does not double-post (the seed's discipline).
+        txCommitted_ = target;
+    }
+    std::uint32_t v = static_cast<std::uint32_t>(target);
+    std::vector<std::uint8_t> reg{static_cast<std::uint8_t>(v),
+                                  static_cast<std::uint8_t>(v >> 8),
+                                  static_cast<std::uint8_t>(v >> 16),
+                                  static_cast<std::uint8_t>(v >> 24)};
+    bool ok = co_await pushWrite(core, layout_.txConsOff(),
+                                 std::move(reg));
+    if (!ok)
+        co_return; // credit still owed; recommitted after revival
+    txCommitted_ = std::max(txCommitted_, target);
     cTxConsCommits_->add();
 }
 
@@ -371,21 +490,93 @@ SnicMqueue::allocTag(const ClientRef &client)
         stats_.counter("tag_table_full").add();
         return std::nullopt;
     }
-    std::uint32_t tag = freeTags_.back();
+    std::uint32_t idx = freeTags_.back();
     freeTags_.pop_back();
-    tags_[tag] = client;
-    return tag;
+    tags_[idx] = client;
+    return idx | (tagGen_[idx] << 16);
 }
 
 ClientRef
 SnicMqueue::releaseTag(std::uint32_t tag)
 {
-    LYNX_ASSERT(tag < tags_.size() && tags_[tag].has_value(),
-                name_, ": response with unknown tag ", tag);
-    ClientRef c = *tags_[tag];
-    tags_[tag].reset();
-    freeTags_.push_back(tag);
+    std::optional<ClientRef> c = tryReleaseTag(tag);
+    LYNX_ASSERT(c.has_value(), name_, ": response with unknown tag ",
+                tag);
+    return *c;
+}
+
+std::optional<ClientRef>
+SnicMqueue::tryReleaseTag(std::uint32_t tag)
+{
+    std::uint32_t idx = tag & 0xffffu;
+    std::uint32_t gen = tag >> 16;
+    if (idx >= tags_.size() || !tags_[idx].has_value() ||
+        tagGen_[idx] != gen)
+        return std::nullopt;
+    ClientRef c = std::move(*tags_[idx]);
+    tags_[idx].reset();
+    // Bump the generation so a duplicate/stale response carrying this
+    // tag value can never match a future allocation of the index.
+    tagGen_[idx] = (tagGen_[idx] + 1) & 0xffffu;
+    freeTags_.push_back(idx);
     return c;
+}
+
+std::vector<std::uint32_t>
+SnicMqueue::allocatedTags() const
+{
+    std::vector<std::uint32_t> out;
+    for (std::uint32_t i = 0; i < tags_.size(); ++i)
+        if (tags_[i].has_value())
+            out.push_back(i | (tagGen_[i] << 16));
+    return out;
+}
+
+sim::Co<bool>
+SnicMqueue::repairGaps(sim::Core &core)
+{
+    std::sort(lostSlots_.begin(), lostSlots_.end());
+    bool repaired = false;
+    while (!lostSlots_.empty()) {
+        std::uint64_t slot = lostSlots_.front();
+        SlotMeta meta;
+        meta.len = 0;
+        meta.tag = 0;
+        meta.err = kSlotSkipErr;
+        meta.seq = static_cast<std::uint32_t>(slot + 1);
+        std::uint64_t slotEnd = layout_.rxSlotEnd(slot);
+        bool ok = co_await pushWrite(core, slotWriteOffset(slotEnd, 0),
+                                     encodeSlotWrite({}, meta));
+        if (!ok)
+            co_return false; // still partitioned; next probe retries
+        lostSlots_.erase(lostSlots_.begin());
+        stats_.counter("slots_repaired").add();
+        repaired = true;
+        LYNX_TRACE(sim_, "mqueue", name_, ": repaired gap at seq ",
+                   meta.seq);
+    }
+    if (repaired)
+        transportDead_ = false;
+    co_return true;
+}
+
+sim::Co<bool>
+SnicMqueue::probeAlive(sim::Core &core)
+{
+    stats_.counter("probes").add();
+    co_await core.exec(qp_.path().postCost);
+    std::uint8_t buf[4];
+    rdma::WcStatus st = co_await qp_.read(layout_.rxConsOff(), buf);
+    if (st != rdma::WcStatus::Ok)
+        co_return false;
+    std::uint32_t observed = static_cast<std::uint32_t>(buf[0]) |
+                             (static_cast<std::uint32_t>(buf[1]) << 8) |
+                             (static_cast<std::uint32_t>(buf[2]) << 16) |
+                             (static_cast<std::uint32_t>(buf[3]) << 24);
+    rxConsCache_ = advance(rxConsCache_, observed);
+    if (lostSlots_.empty())
+        transportDead_ = false;
+    co_return true;
 }
 
 std::optional<SnicMqueue::Pending>

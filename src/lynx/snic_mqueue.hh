@@ -68,6 +68,13 @@ struct SnicMqueueConfig
      *  stays contiguous) and under `writeBarrier`/split-write modes
      *  (see docs/INTERNALS.md §5). */
     int maxBatch = 1;
+
+    /** Surface RDMA completion errors on ring accesses and retry
+     *  them with exponential backoff. Off (maxRetries = 0, the
+     *  default) keeps the seed's posted, fire-and-forget writes with
+     *  bit-identical timing; required when a fault plan is bound to
+     *  the QP and recovery matters (docs/INTERNALS.md §7). */
+    rdma::RdmaRetryPolicy retry;
 };
 
 /** A message popped from an mqueue's TX ring. */
@@ -86,6 +93,11 @@ struct ClientRef
     net::Protocol proto = net::Protocol::Udp;
     std::uint64_t seq = 0;
     sim::Tick sentAt = 0;
+
+    /** Copy of the request payload, kept only when the dispatcher
+     *  runs with payload retention (failover): it is what health
+     *  draining re-queues to a surviving mqueue. Empty otherwise. */
+    std::vector<std::uint8_t> payload;
 };
 
 /** SNIC-side manager of one mqueue. */
@@ -173,9 +185,27 @@ class SnicMqueue
      */
     void setTxActivityHandler(std::function<void()> fn);
 
-    /** @{ Server-queue tag table. */
+    /** @{ Server-queue tag table.
+     *
+     *  A tag value encodes (table index | generation << 16). The
+     *  generation bumps on every release, so a *stale* response —
+     *  e.g. from a revived accelerator answering a request whose tag
+     *  was drained and since re-allocated by failover — can never be
+     *  mis-matched to a new client (tryReleaseTag rejects it). */
     std::optional<std::uint32_t> allocTag(const ClientRef &client);
+
+    /** Release @p tag; panics on an unknown/stale tag (the seed's
+     *  strict behaviour — a stale tag without failover is a bug). */
     ClientRef releaseTag(std::uint32_t tag);
+
+    /** Release @p tag if it is currently allocated with a matching
+     *  generation; @return nullopt for unknown/stale tags (failover
+     *  drains and duplicate responses after revival land here). */
+    std::optional<ClientRef> tryReleaseTag(std::uint32_t tag);
+
+    /** @return every currently allocated tag (generation-encoded),
+     *  i.e. the in-flight requests a health drain must re-queue. */
+    std::vector<std::uint32_t> allocatedTags() const;
 
     /** @return requests with an allocated tag, i.e. dispatched but
      *  not yet answered. Exact and SNIC-local (no RDMA), unlike
@@ -184,6 +214,48 @@ class SnicMqueue
     tagsInFlight() const
     {
         return tags_.size() - freeTags_.size();
+    }
+    /** @} */
+
+    /** @{ Transport health (fault injection + failover).
+     *
+     *  When a ring access exhausts its software retry budget the
+     *  mqueue marks itself transport-dead; the health monitor reacts
+     *  by failing the queue over. RX slots whose write was lost are
+     *  remembered so revival can repair the sequence-number gap. */
+
+    /** @return whether a ring access exhausted its retry budget and
+     *  the queue needs failover + repair. */
+    bool transportDead() const { return transportDead_; }
+
+    /** RX slots claimed but never landed (retry budget exhausted). */
+    std::size_t lostSlotCount() const { return lostSlots_.size(); }
+
+    /**
+     * Rewrite every lost RX slot as a zero-length kSlotSkipErr
+     * message so the accelerator's strict-seq consumption can pass
+     * the gap; clears the transport-dead flag when all repairs land.
+     * @return false while the transport still fails (try again at
+     * the next probe).
+     */
+    sim::Co<bool> repairGaps(sim::Core &core);
+
+    /**
+     * Revival probe: one signalled RDMA read of the rxCons register.
+     * On success refreshes the consumer cache and clears the
+     * transport-dead flag (if no gaps remain un-repaired).
+     * @return whether the read completed Ok.
+     */
+    sim::Co<bool> probeAlive(sim::Core &core);
+
+    /** Re-fire the TX activity handler (health monitor revival hook:
+     *  wakes the forwarder to re-poll doorbells that rang while the
+     *  queue was dead or its transport was failing). */
+    void
+    nudgeTx()
+    {
+        if (txActivityFn_)
+            txActivityFn_();
     }
     /** @} */
 
@@ -213,6 +285,21 @@ class SnicMqueue
     sim::StatSet &stats() { return stats_; }
 
   private:
+    /**
+     * Emit one RX-ring write: posted fire-and-forget when the retry
+     * policy is off (the seed fast path, bit-identical), otherwise
+     * signalled with software retries + exponential backoff.
+     * @return false when the retry budget is exhausted (the caller
+     * records the lost slot; transportDead() is set).
+     */
+    sim::Co<bool> pushWrite(sim::Core &core, std::uint64_t off,
+                            std::vector<std::uint8_t> buf);
+
+    /** Emit one pipelined TX fetch of @p bytes, with software retries
+     *  under the retry policy (when enabled). @return whether a fetch
+     *  ultimately succeeded; false sets transportDead(). */
+    sim::Co<bool> txFetch(sim::Core &core, std::uint64_t bytes);
+
     /** Refresh the cached rxCons register over RDMA. */
     sim::Co<void> refreshRxCons(sim::Core &core);
 
@@ -241,9 +328,15 @@ class SnicMqueue
     std::uint64_t txConsumed_ = 0;
     std::uint64_t txCommitted_ = 0;
 
-    /** Tag table (server queues): slot -> client, with freelist. */
+    /** Tag table (server queues): index -> client, with freelist and
+     *  per-index generation (stale-tag detection, see allocTag). */
     std::vector<std::optional<ClientRef>> tags_;
     std::vector<std::uint32_t> freeTags_;
+    std::vector<std::uint32_t> tagGen_;
+
+    /** Transport health (fault injection). */
+    bool transportDead_ = false;
+    std::vector<std::uint64_t> lostSlots_;
 
     /** Pending backend requests (client queues), FIFO. */
     std::deque<Pending> pending_;
@@ -251,6 +344,8 @@ class SnicMqueue
 
     std::uint64_t txWatchId_ = 0;
     bool txWatchInstalled_ = false;
+    /** Copy of the TX activity handler, for nudgeTx(). */
+    std::function<void()> txActivityFn_;
 
     sim::StatSet stats_;
 
@@ -267,6 +362,9 @@ class SnicMqueue
     sim::Counter *cTxPopped_;
     sim::Counter *cTxBytes_;
     sim::Counter *cTxConsCommits_;
+    sim::Counter *cRdmaErrors_;
+    sim::Counter *cRdmaRetries_;
+    sim::Counter *cSlotsLost_;
 };
 
 } // namespace lynx::core

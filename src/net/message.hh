@@ -60,6 +60,12 @@ struct Message
     /** Generator sequence tag for request/response matching. */
     std::uint64_t seq = 0;
 
+    /** Set by fault injection when payload bytes were flipped in the
+     *  fabric. The receiving NIC's checksum verification drops such
+     *  frames (net::Nic::deliver), so corruption never propagates
+     *  above the NIC — it surfaces as loss. */
+    bool corrupted = false;
+
     /** @return payload size in bytes. */
     std::uint64_t size() const { return payload.size(); }
 };

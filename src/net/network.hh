@@ -21,6 +21,7 @@
 
 #include "message.hh"
 #include "nic.hh"
+#include "sim/fault.hh"
 #include "sim/random.hh"
 #include "sim/simulator.hh"
 #include "sim/stats.hh"
@@ -97,11 +98,34 @@ class Network
         Nic &dst = *nics_[m.dst.node];
         sim::Tick flight = cfg_.switchLatency + cfg_.propagation +
                            dst.config().hwLatency;
+        if (faults_ && faults_->enabled()) {
+            auto v = faults_->judge(m.src.node, m.dst.node, sim_.now());
+            if (v.drop) {
+                stats_.counter("dropped_by_fault").add();
+                return;
+            }
+            if (v.corrupt) {
+                faults_->corruptInPlace(m.payload);
+                m.corrupted = true;
+                stats_.counter("corrupted_in_fabric").add();
+            }
+            // A delayed frame lets later ones overtake it: the delay
+            // fault doubles as the reordering fault.
+            flight += v.delay;
+        }
         stats_.counter("routed").add();
         sim_.scheduleIn(flight, [&dst, m = std::move(m)]() mutable {
             dst.deliver(std::move(m));
         });
     }
+
+    /** Attach (or detach with nullptr) a fault-injection plan. The
+     *  plan is consulted per routed message; an all-zero plan is
+     *  short-circuited, leaving timing bit-identical. Not owned. */
+    void setFaultPlan(sim::FaultPlan *plan) { faults_ = plan; }
+
+    /** @return the attached fault plan (nullptr when none). */
+    sim::FaultPlan *faultPlan() { return faults_; }
 
     /** Fabric-wide statistics. */
     sim::StatSet &stats() { return stats_; }
@@ -111,6 +135,7 @@ class Network
   private:
     sim::Simulator &sim_;
     NetworkConfig cfg_;
+    sim::FaultPlan *faults_ = nullptr;
     sim::Rng lossRng_;
     std::vector<std::unique_ptr<Nic>> nics_;
     sim::StatSet stats_;

@@ -55,6 +55,14 @@ Nic::deliver(Message m)
     stats_.counter("rx_msgs").add();
     stats_.counter("rx_bytes").add(m.size());
 
+    if (m.corrupted) {
+        // Checksum verification (Ethernet CRC / UDP checksum): a
+        // frame corrupted in the fabric is dropped here, so no
+        // corrupt payload is ever delivered to an endpoint.
+        stats_.counter("rx_drop_corrupt").add();
+        return;
+    }
+
     auto it = endpoints_.find(Key{m.proto, m.dst.port});
     if (it == endpoints_.end()) {
         stats_.counter("rx_no_endpoint").add();

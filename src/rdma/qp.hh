@@ -17,11 +17,26 @@
  *    targets differ only in the RdmaPathModel timing parameters,
  *    mirroring the paper's "a remote accelerator is indistinguishable
  *    from a local one" design (§5.5).
+ *
+ * Fault model (extension): with a sim::FaultPlan bound, each work
+ * request is judged per transmission attempt. RC transport retries a
+ * lost or ICRC-corrupted packet in hardware up to `hwRetries` times
+ * (each costing `retransmitDelay` and occupying the QP channel —
+ * retransmits delay everything behind them, as RC ordering demands);
+ * an exhausted budget surfaces as WcStatus::Error with the data never
+ * landing. Corruption is *always* caught by the ICRC check, so a
+ * fault plan can flip bits without a corrupt byte ever reaching
+ * accelerator memory — it costs retransmits instead. A failed op
+ * does not wedge the QP: the model treats the runtime as resetting
+ * the QP transparently, so later ops proceed (software-level
+ * recovery is the caller's job, via RdmaRetryPolicy and the mqueue
+ * health machinery).
  */
 
 #ifndef LYNX_RDMA_QP_HH
 #define LYNX_RDMA_QP_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -30,6 +45,7 @@
 
 #include "pcie/memory.hh"
 #include "sim/co.hh"
+#include "sim/fault.hh"
 #include "sim/simulator.hh"
 #include "sim/stats.hh"
 #include "sim/task.hh"
@@ -79,6 +95,57 @@ struct RdmaPathModel
     }
 };
 
+/** Outcome of a signalled work request, as the completion queue
+ *  reports it. Error means the transport exhausted its retransmit
+ *  budget: the data did not land (write) or was not fetched (read). */
+enum class WcStatus : std::uint8_t { Ok, Error };
+
+/** Software retry budget for callers that must survive completion
+ *  errors (the dispatcher's RX pushes, the forwarder's TX fetches).
+ *  maxRetries = 0 disables the machinery entirely: callers keep the
+ *  seed's posted-write fast path, bit-identical in timing. Defaults
+ *  are generic; calibrated values live in lynx/calibration.hh and
+ *  are applied by the Runtime when failover is enabled. */
+struct RdmaRetryPolicy
+{
+    /** Software re-attempts after a completion error (on top of the
+     *  transport's own hardware retransmits). 0 = off. */
+    int maxRetries = 0;
+
+    /** Exponential backoff: attempt k sleeps min(base << k, max). */
+    sim::Tick backoffBase = sim::microseconds(2);
+    sim::Tick backoffMax = sim::microseconds(64);
+
+    bool enabled() const { return maxRetries > 0; }
+
+    /** @return backoff before re-attempt @p attempt (0-based). */
+    sim::Tick
+    backoff(int attempt) const
+    {
+        int shift = std::min(attempt, 20);
+        return std::min(backoffBase << shift, backoffMax);
+    }
+};
+
+/** Binding of a QP to a fault plan: which (initiator, target) node
+ *  pair its transfers are judged as, and the transport-level
+ *  retransmit budget. */
+struct QpFaultBinding
+{
+    sim::FaultPlan *plan = nullptr;
+
+    /** Node ids used for FaultPlan::judge / partitions. */
+    std::uint32_t initiator = 0;
+    std::uint32_t target = 0;
+
+    /** Hardware retransmissions per work request before the QP
+     *  reports a completion error (IB retry_cnt). */
+    int hwRetries = 3;
+
+    /** Retransmission timeout per lost/corrupted attempt. */
+    sim::Tick retransmitDelay = sim::microseconds(16);
+};
+
 /** A Reliable Connection QP bound to one target memory region. */
 class QueuePair
 {
@@ -106,38 +173,73 @@ class QueuePair
     /** @return target memory region. */
     pcie::DeviceMemory &target() { return target_; }
 
+    /** Bind this QP's transfers to a fault plan (nullptr plan
+     *  detaches). Off by default; an unbound or all-zero plan leaves
+     *  every op on the exact seed timing path. */
+    void bindFaults(QpFaultBinding binding) { faults_ = binding; }
+
+    /** @return whether fault injection is live on this QP. */
+    bool
+    faultsEnabled() const
+    {
+        return faults_.plan != nullptr && faults_.plan->enabled();
+    }
+
     /**
      * One-sided RDMA write: place @p data at @p off in target memory.
      * Returns when the initiator sees the completion; the data is
-     * visible at the target earlier (at delivery).
+     * visible at the target earlier (at delivery). On WcStatus::Error
+     * (fault injection only) the data never lands.
      */
-    sim::Co<void>
+    sim::Co<WcStatus>
     write(std::uint64_t off, std::span<const std::uint8_t> data)
     {
-        sim::Tick deliverAt =
-            scheduleDelivery(off, {data.begin(), data.end()});
+        OpFate fate = judgeOp();
+        if (fate.fail) {
+            co_await sim::sleep(failTime(data.size(), fate) - sim_.now());
+            co_return WcStatus::Error;
+        }
+        sim::Tick deliverAt = scheduleDelivery(
+            off, {data.begin(), data.end()}, fate.extra);
         co_await sim::sleep(deliverAt + path_.completionDelay - sim_.now());
+        co_return WcStatus::Ok;
     }
 
     /**
      * Posted (unsignalled) write: returns immediately; delivery is
-     * scheduled and remains ordered after earlier operations.
+     * scheduled and remains ordered after earlier operations. A
+     * transport failure under fault injection is invisible to the
+     * caller (there is no completion to report it on) — it only
+     * shows in the `posted_write_lost` counter. Callers that must
+     * know use write() with an RdmaRetryPolicy.
      */
     void
     postWrite(std::uint64_t off, std::vector<std::uint8_t> data)
     {
-        scheduleDelivery(off, std::move(data));
+        OpFate fate = judgeOp();
+        if (fate.fail) {
+            failTime(data.size(), fate); // occupy the channel anyway
+            stats_.counter("posted_write_lost").add();
+            return;
+        }
+        scheduleDelivery(off, std::move(data), fate.extra);
     }
 
     /**
      * One-sided RDMA read of @p out.size() bytes at @p off. The
      * snapshot is taken when the request reaches the target; the
-     * caller resumes one `oneWay` later with @p out filled.
+     * caller resumes one `oneWay` later with @p out filled. On
+     * WcStatus::Error @p out is untouched.
      */
-    sim::Co<void>
+    sim::Co<WcStatus>
     read(std::uint64_t off, std::span<std::uint8_t> out)
     {
-        sim::Tick arriveAt = nextOpTime(0);
+        OpFate fate = judgeOp();
+        if (fate.fail) {
+            co_await sim::sleep(failTime(0, fate) - sim_.now());
+            co_return WcStatus::Error;
+        }
+        sim::Tick arriveAt = nextOpTime(0, fate.extra);
         auto snapshot =
             std::make_shared<std::vector<std::uint8_t>>(out.size());
         pcie::DeviceMemory &target = target_;
@@ -151,6 +253,7 @@ class QueuePair
         stats_.counter("read_bytes").add(out.size());
         co_await sim::sleep(respTime - sim_.now());
         std::copy(snapshot->begin(), snapshot->end(), out.begin());
+        co_return WcStatus::Ok;
     }
 
     /**
@@ -158,40 +261,116 @@ class QueuePair
      * consistency workaround, paper §5.1): completes after a full
      * round trip, ordered behind earlier writes.
      */
-    sim::Co<void>
+    sim::Co<WcStatus>
     readBarrier()
     {
-        sim::Tick arriveAt = nextOpTime(0);
+        OpFate fate = judgeOp();
+        if (fate.fail) {
+            co_await sim::sleep(failTime(0, fate) - sim_.now());
+            co_return WcStatus::Error;
+        }
+        sim::Tick arriveAt = nextOpTime(0, fate.extra);
         sim::Tick respTime = arriveAt + path_.oneWay;
         stats_.counter("barrier_ops").add();
         co_await sim::sleep(respTime - sim_.now());
+        co_return WcStatus::Ok;
+    }
+
+    /**
+     * Latency model of one *pipelined* fetch of @p bytes from target
+     * memory (the forwarder's TX-slot reads, which stream without
+     * holding the QP channel — see SnicMqueue::pollTx). Without
+     * faults this is exactly nicLatency + oneWay + serialization;
+     * with faults, retransmits add their delays and an exhausted
+     * budget returns Error (the fetched data must not be used).
+     */
+    sim::Co<WcStatus>
+    fetch(std::uint64_t bytes)
+    {
+        OpFate fate = judgeOp();
+        co_await sim::sleep(path_.nicLatency + path_.oneWay +
+                            path_.serialization(bytes) + fate.extra);
+        if (fate.fail) {
+            stats_.counter("fetch_errors").add();
+            co_return WcStatus::Error;
+        }
+        co_return WcStatus::Ok;
     }
 
     /** Operation/byte counters. */
     sim::StatSet &stats() { return stats_; }
 
   private:
+    /** Transport-level outcome of one work request: the summed
+     *  retransmit/injected delay, and whether the retry budget was
+     *  exhausted (completion error). */
+    struct OpFate
+    {
+        bool fail = false;
+        sim::Tick extra = 0;
+    };
+
+    /** Judge one work request against the bound fault plan: each
+     *  transmission attempt can be lost or ICRC-corrupted (both cost
+     *  a retransmit) or delayed; hwRetries exhausted => fail. */
+    OpFate
+    judgeOp()
+    {
+        OpFate fate;
+        if (!faultsEnabled())
+            return fate;
+        sim::FaultPlan &plan = *faults_.plan;
+        for (int attempt = 0; attempt <= faults_.hwRetries; ++attempt) {
+            auto v = plan.judge(faults_.initiator, faults_.target,
+                                sim_.now());
+            fate.extra += v.delay;
+            if (!v.drop && !v.corrupt)
+                return fate;
+            // Lost, or corrupted and caught by the ICRC check:
+            // the transport retransmits after a timeout.
+            fate.extra += faults_.retransmitDelay;
+            stats_.counter("hw_retransmits").add();
+        }
+        fate.fail = true;
+        stats_.counter("wc_errors").add();
+        return fate;
+    }
+
+    /** Account a failed op's channel occupancy (its attempts still
+     *  serialize and delay later ops, per RC ordering) and @return
+     *  the initiator-visible error-completion time. */
+    sim::Tick
+    failTime(std::uint64_t bytes, const OpFate &fate)
+    {
+        sim::Tick start =
+            std::max(sim_.now() + path_.nicLatency, busyUntil_);
+        busyUntil_ = start + path_.serialization(bytes) + fate.extra;
+        return busyUntil_ + path_.completionDelay;
+    }
+
     /**
      * @return time the next op (payload @p bytes) reaches the target.
      * Ops occupy the QP's channel for their serialization time only
      * (they pipeline through the one-way latency); deliveries stay
-     * ordered because the start times are monotonic.
+     * ordered because the start times are monotonic. @p extra models
+     * retransmit/injected delay and occupies the channel too.
      */
     sim::Tick
-    nextOpTime(std::uint64_t bytes)
+    nextOpTime(std::uint64_t bytes, sim::Tick extra = 0)
     {
         sim::Tick start =
             std::max(sim_.now() + path_.nicLatency, busyUntil_);
-        busyUntil_ = start + path_.serialization(bytes);
+        busyUntil_ = start + path_.serialization(bytes) + extra;
         return busyUntil_ + path_.oneWay;
     }
 
     /** Schedule an ordered write delivery; @return delivery time. */
     sim::Tick
-    scheduleDelivery(std::uint64_t off, std::vector<std::uint8_t> data)
+    scheduleDelivery(std::uint64_t off, std::vector<std::uint8_t> data,
+                     sim::Tick extra = 0)
     {
         std::uint64_t n = data.size();
-        sim::Tick deliverAt = nextOpTime(n);
+        sim::Tick deliverAt = nextOpTime(n, extra);
         pcie::DeviceMemory &target = target_;
         sim_.schedule(deliverAt, [&target, off, d = std::move(data)] {
             target.write(off, d);
@@ -205,6 +384,7 @@ class QueuePair
     std::string name_;
     pcie::DeviceMemory &target_;
     RdmaPathModel path_;
+    QpFaultBinding faults_;
     sim::Tick busyUntil_ = 0;
     sim::StatSet stats_;
 };

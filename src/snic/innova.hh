@@ -139,8 +139,11 @@ class InnovaAfu
             core::SnicMqueue &mq = *queues[rr++ % queues.size()];
             std::uint32_t tag = 0;
             if (allocTags) {
-                core::ClientRef client{msg.src, msg.proto, msg.seq,
-                                       msg.sentAt};
+                core::ClientRef client;
+                client.addr = msg.src;
+                client.proto = msg.proto;
+                client.seq = msg.seq;
+                client.sentAt = msg.sentAt;
                 auto t = mq.allocTag(client);
                 if (!t) {
                     stats_.counter("afu_tag_full").add();

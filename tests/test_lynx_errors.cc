@@ -230,6 +230,83 @@ TEST(LynxErrors, OversizedNetworkRequestIsDropped)
     EXPECT_EQ(queues[0]->stats().counterValue("rx_msgs"), 0u);
 }
 
+TEST(LynxErrors, UdpOverflowDropsAreCountedUnderBatchedLynxPath)
+{
+    // A line-rate burst into a tiny ingress queue with every batching
+    // knob on: the NIC must overflow, and every accepted frame must
+    // be accounted — consumed by a listener, dropped at the endpoint
+    // queue (rx_drop_udp), or dropped by the dispatcher — with the
+    // endpoint's own dropped() agreeing with the NIC counter.
+    sim::Simulator s;
+    net::Network nw(s);
+    snic::BluefieldConfig bcfg;
+    bcfg.nic.queueDepth = 8; // force overflow under the burst
+    snic::Bluefield bf(s, nw, "bf0", bcfg);
+    auto &clientNic = nw.addNic("client");
+    pcie::Fabric fabric(s, "pcie");
+    accel::Gpu gpu(s, "k40m", fabric);
+
+    core::RuntimeConfig cfg = bf.lynxRuntimeConfig();
+    cfg.mq.maxBatch = 8;
+    cfg.dispatchMaxBatch = 8;
+    cfg.forwarder.maxBatch = 8;
+    cfg.gio.rxBurst = true;
+    core::Runtime rt(s, cfg);
+    auto &accel = rt.addAccelerator("k40m", gpu.memory(),
+                                    rdma::RdmaPathModel{});
+    core::ServiceConfig scfg;
+    scfg.port = 7000;
+    auto &svc = rt.addService(scfg);
+    auto queues = rt.makeAccelQueues(svc, accel);
+    sim::spawn(s, apps::runEchoBlock(gpu, *queues[0], 0));
+    rt.start();
+
+    constexpr int kBurst = 400;
+    int got = 0;
+    auto &ep = clientNic.bind(net::Protocol::Udp, 40000);
+    auto flood = [&]() -> sim::Task {
+        for (int i = 0; i < kBurst; ++i) {
+            net::Message m;
+            m.src = {clientNic.node(), 40000};
+            m.dst = {bf.node(), 7000};
+            m.proto = net::Protocol::Udp;
+            m.payload.assign(64, static_cast<std::uint8_t>(i));
+            co_await clientNic.send(std::move(m));
+        }
+    };
+    auto receiver = [&]() -> sim::Task {
+        for (;;) {
+            (void)co_await ep.recv();
+            ++got;
+        }
+    };
+    sim::spawn(s, flood());
+    sim::spawn(s, receiver());
+    s.runUntil(100_ms);
+
+    auto &bfStats = bf.nic().stats();
+    std::uint64_t drops = bfStats.counterValue("rx_drop_udp");
+    EXPECT_GT(drops, 0u);
+    // The per-endpoint count and the NIC-wide counter must agree.
+    EXPECT_EQ(svc.endpoint().dropped(), drops);
+    EXPECT_EQ(svc.endpoint().backlog(), 0u);
+    // NIC-level conservation: accepted == consumed + overflow-dropped.
+    EXPECT_EQ(bfStats.counterValue("rx_msgs"), kBurst);
+    EXPECT_EQ(rt.stats().counterValue("rx_msgs") + drops,
+              static_cast<std::uint64_t>(kBurst));
+    // Dispatcher-level conservation: everything a listener consumed
+    // was dispatched or dropped-with-a-counter, and every dispatched
+    // request was answered.
+    auto &ds = svc.dispatcher().stats();
+    EXPECT_EQ(ds.counterValue("dispatched") +
+                  ds.counterValue("dropped_ring_full") +
+                  ds.counterValue("dropped_no_tag") +
+                  ds.counterValue("dropped_oversized"),
+              rt.stats().counterValue("rx_msgs"));
+    EXPECT_EQ(static_cast<std::uint64_t>(got),
+              ds.counterValue("dispatched"));
+}
+
 TEST(LynxErrors, ServiceSurvivesLossyFabric)
 {
     // 20% fabric loss: clients time out and retry; every response
