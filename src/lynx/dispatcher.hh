@@ -151,6 +151,7 @@ class Dispatcher
         client.proto = msg.proto;
         client.seq = msg.seq;
         client.sentAt = msg.sentAt;
+        client.traceId = msg.traceId;
         if (cfg_.retainPayloads)
             client.payload = msg.payload;
         auto tag = mq.allocTag(client);

@@ -24,6 +24,7 @@
 #include "net/stack.hh"
 #include "sim/processor.hh"
 #include "sim/simulator.hh"
+#include "sim/span.hh"
 #include "sim/stats.hh"
 #include "sim/sync.hh"
 #include "sim/task.hh"
@@ -98,7 +99,10 @@ class Forwarder
           cStaleResponses_(&stats_.counter("stale_responses"))
     {
         queues_.reserve(8);
+        sim_.metrics().add("lynx.fwd." + name_, stats_);
     }
+
+    ~Forwarder() { sim_.metrics().remove(stats_); }
 
     Forwarder(const Forwarder &) = delete;
     Forwarder &operator=(const Forwarder &) = delete;
@@ -244,6 +248,10 @@ class Forwarder
             out.proto = client.proto;
             out.seq = client.seq;
             out.sentAt = client.sentAt;
+            out.traceId = client.traceId;
+            if (sim::SpanCollector *spans = sim_.spans())
+                spans->stamp(out.traceId, sim::Stage::ForwarderTx,
+                             sim_.now());
             cResponses_->add();
         } else {
             // Client mqueue: fixed backend destination; remember the

@@ -1,5 +1,7 @@
 #include "gio.hh"
 
+#include "sim/span.hh"
+
 namespace lynx::core {
 
 AccelQueue::AccelQueue(sim::Simulator &sim, std::string name,
@@ -23,10 +25,13 @@ AccelQueue::AccelQueue(sim::Simulator &sim, std::string name,
     cTxMsgs_ = &stats_.counter("tx_msgs");
     cTxBytes_ = &stats_.counter("tx_bytes");
     cTxStalls_ = &stats_.counter("tx_stalls");
+
+    sim_.metrics().add("gio." + name_, stats_);
 }
 
 AccelQueue::~AccelQueue()
 {
+    sim_.metrics().remove(stats_);
     mem_.unwatch(rxWatchId_);
     mem_.unwatch(txConsWatchId_);
 }
@@ -48,6 +53,9 @@ AccelQueue::recv()
     if (!burst_.empty()) {
         GioMessage msg = std::move(burst_.front());
         burst_.pop_front();
+        if (sim::SpanCollector *spans = sim_.spans())
+            spans->stampTag(&mem_, layout_.base, msg.tag,
+                            sim::Stage::AppStart, sim_.now());
         co_return msg;
     }
     for (;;) {
@@ -84,6 +92,9 @@ AccelQueue::recv()
             msg.tag = meta.tag;
             msg.err = meta.err;
             msg.payload = readSlotPayload(mem_, slotEnd, meta);
+            if (sim::SpanCollector *spans = sim_.spans())
+                spans->stampTag(&mem_, layout_.base, meta.tag,
+                                sim::Stage::GioPop, sim_.now());
             co_await sim::sleep(static_cast<sim::Tick>(
                 cfg_.perByte * static_cast<double>(meta.len)));
             ++rxConsumed_;
@@ -94,6 +105,9 @@ AccelQueue::recv()
             co_await sim::sleep(cfg_.localLatency);
             cRxMsgs_->add();
             cRxBytes_->add(meta.len);
+            if (sim::SpanCollector *spans = sim_.spans())
+                spans->stampTag(&mem_, layout_.base, meta.tag,
+                                sim::Stage::AppStart, sim_.now());
             co_return msg;
         }
         co_await rxActivity_.wait();
@@ -126,6 +140,9 @@ AccelQueue::sweepReady()
             msg.tag = meta.tag;
             msg.err = meta.err;
             msg.payload = readSlotPayload(mem_, slotEnd, meta);
+            if (sim::SpanCollector *spans = sim_.spans())
+                spans->stampTag(&mem_, layout_.base, meta.tag,
+                                sim::Stage::GioPop, sim_.now());
             sweptBytes += meta.len;
             burst_.push_back(std::move(msg));
         }
@@ -152,6 +169,11 @@ AccelQueue::send(std::uint32_t tag, std::span<const std::uint8_t> payload,
 {
     LYNX_ASSERT(payload.size() <= layout_.maxPayload(), name_,
                 ": payload of ", payload.size(), " bytes exceeds slot");
+    // The app hands over its response here: compute ends now (any
+    // flow-control stall below is queueing, not compute).
+    if (sim::SpanCollector *spans = sim_.spans())
+        spans->stampTag(&mem_, layout_.base, tag, sim::Stage::AppEnd,
+                        sim_.now());
     // Flow control: wait for TX-ring space (SNIC returns credit by
     // writing txCons after forwarding).
     for (;;) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "lynx/calibration.hh"
+#include "sim/span.hh"
 #include "sim/trace.hh"
 #include "workload/loadgen.hh"
 
@@ -26,6 +27,14 @@ Runtime::Runtime(sim::Simulator &sim, RuntimeConfig cfg)
         }
         cfg_.forwarder.tolerateStaleTags = true;
     }
+    sim_.metrics().add("lynx.runtime", stats_);
+}
+
+Runtime::~Runtime()
+{
+    sim_.metrics().remove(stats_);
+    for (auto &svc : services_)
+        sim_.metrics().remove(svc->dispatcher().stats());
 }
 
 AccelHandle &
@@ -64,6 +73,10 @@ Runtime::addService(ServiceConfig scfg)
         DispatcherConfig{cfg_.dispatchCpu, cfg_.dispatchMaxBatch,
                          cfg_.failover.enabled}));
     Service &svc = *services_.back();
+    // The Dispatcher itself carries no Simulator reference; its owner
+    // registers the stats on its behalf (removed in ~Runtime).
+    sim_.metrics().add("lynx.dispatch." + scfg.name,
+                       svc.dispatcher().stats());
 
     for (auto &accel : accels_) {
         if (!scfg.accels.empty() &&
@@ -149,6 +162,9 @@ Runtime::listenLoop(Service &svc, sim::Core &core)
         net::Message msg = co_await svc.endpoint().recv();
         LYNX_TRACE(sim_, "lynx", svc.config().name, ": rx from ",
                    msg.src, " (", msg.size(), " B)");
+        if (sim::SpanCollector *spans = sim_.spans())
+            spans->stamp(msg.traceId, sim::Stage::SnicIngress,
+                         sim_.now());
         rxMsgs.add();
         co_await core.exec(
             cfg_.stack.cost(proto, net::Dir::Recv, msg.size()));

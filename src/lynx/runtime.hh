@@ -250,6 +250,7 @@ class Runtime
 {
   public:
     Runtime(sim::Simulator &sim, RuntimeConfig cfg);
+    ~Runtime();
 
     Runtime(const Runtime &) = delete;
     Runtime &operator=(const Runtime &) = delete;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/span.hh"
 #include "sim/task.hh"
 #include "sim/trace.hh"
 
@@ -40,6 +41,8 @@ SnicMqueue::SnicMqueue(sim::Simulator &sim, std::string name,
     cRdmaErrors_ = &stats_.counter("rdma_errors");
     cRdmaRetries_ = &stats_.counter("rdma_retries");
     cSlotsLost_ = &stats_.counter("slots_lost");
+
+    sim_.metrics().add("lynx.mq." + name_, stats_);
 }
 
 void
@@ -51,6 +54,7 @@ SnicMqueue::notePending(std::uint32_t tag, sim::Tick deadline)
 
 SnicMqueue::~SnicMqueue()
 {
+    sim_.metrics().remove(stats_);
     if (txWatchInstalled_)
         qp_.target().unwatch(txWatchId_);
 }
@@ -272,6 +276,9 @@ SnicMqueue::rxPush(sim::Core &core, std::span<const std::uint8_t> payload,
 
     LYNX_TRACE(sim_, "mqueue", name_, ": rx push seq ", meta.seq,
                " len ", meta.len, " tag ", meta.tag);
+    if (sim::SpanCollector *spans = sim_.spans())
+        spans->stampTag(&qp_.target(), layout_.base, tag,
+                        sim::Stage::MqueueWrite, sim_.now());
     cRxPushed_->add();
     cRxBytes_->add(meta.len);
     co_return true;
@@ -363,6 +370,12 @@ SnicMqueue::rxPushBatch(sim::Core &core, std::span<const RxItem> items)
         LYNX_TRACE(sim_, "mqueue", name_, ": rx batch seq ",
                    firstSlot + 1, "..", firstSlot + k, " (", segBytes,
                    " B payload)");
+        if (sim::SpanCollector *spans = sim_.spans()) {
+            for (std::size_t j = 0; j < k; ++j)
+                spans->stampTag(&qp_.target(), layout_.base,
+                                items[accepted + j].tag,
+                                sim::Stage::MqueueWrite, sim_.now());
+        }
         cRxWriteOps_->add();
         cRxCoalesced_->add(k - 1);
         cRxPushed_->add(k);
@@ -493,7 +506,20 @@ SnicMqueue::allocTag(const ClientRef &client)
     std::uint32_t idx = freeTags_.back();
     freeTags_.pop_back();
     tags_[idx] = client;
-    return idx | (tagGen_[idx] << 16);
+    std::uint32_t tag = idx | (tagGen_[idx] << 16);
+    // Dispatcher picked this queue and claimed the tag: that is the
+    // dispatch-enqueue hop. The accelerator side only sees the 32-bit
+    // tag, so bind tag -> trace id for the downstream stamps; the
+    // binding dies with the tag in tryReleaseTag.
+    if (sim::SpanCollector *spans = sim_.spans()) {
+        if (client.traceId != 0) {
+            spans->stamp(client.traceId, sim::Stage::DispatchEnqueue,
+                         sim_.now());
+            spans->bindTag(&qp_.target(), layout_.base, tag,
+                           client.traceId);
+        }
+    }
+    return tag;
 }
 
 ClientRef
@@ -519,6 +545,8 @@ SnicMqueue::tryReleaseTag(std::uint32_t tag)
     // tag value can never match a future allocation of the index.
     tagGen_[idx] = (tagGen_[idx] + 1) & 0xffffu;
     freeTags_.push_back(idx);
+    if (sim::SpanCollector *spans = sim_.spans())
+        spans->unbindTag(&qp_.target(), layout_.base, tag);
     return c;
 }
 

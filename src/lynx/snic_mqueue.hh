@@ -94,6 +94,11 @@ struct ClientRef
     std::uint64_t seq = 0;
     sim::Tick sentAt = 0;
 
+    /** Span-tracing id of the request (0 when tracing is off); the
+     *  forwarder copies it onto the response so the client can close
+     *  the span. */
+    std::uint64_t traceId = 0;
+
     /** Copy of the request payload, kept only when the dispatcher
      *  runs with payload retention (failover): it is what health
      *  draining re-queues to a surviving mqueue. Empty otherwise. */

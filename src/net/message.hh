@@ -60,6 +60,11 @@ struct Message
     /** Generator sequence tag for request/response matching. */
     std::uint64_t seq = 0;
 
+    /** Span-tracing id (sim/span.hh); 0 when tracing is off. Pure
+     *  metadata: not part of size(), so it never affects wire or
+     *  serialization timing. */
+    std::uint64_t traceId = 0;
+
     /** Set by fault injection when payload bytes were flipped in the
      *  fabric. The receiving NIC's checksum verification drops such
      *  frames (net::Nic::deliver), so corruption never propagates

@@ -53,7 +53,11 @@ class Network
   public:
     explicit Network(sim::Simulator &sim, NetworkConfig cfg = {})
         : sim_(sim), cfg_(cfg), lossRng_(cfg.lossSeed)
-    {}
+    {
+        sim_.metrics().add("net.fabric", stats_);
+    }
+
+    ~Network() { sim_.metrics().remove(stats_); }
 
     Network(const Network &) = delete;
     Network &operator=(const Network &) = delete;

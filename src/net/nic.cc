@@ -1,6 +1,7 @@
 #include "nic.hh"
 
 #include "network.hh"
+#include "sim/span.hh"
 
 namespace lynx::net {
 
@@ -8,7 +9,14 @@ Nic::Nic(sim::Simulator &sim, Network &network, std::string name,
          std::uint32_t node, NicConfig cfg)
     : sim_(sim), network_(network), name_(std::move(name)), node_(node),
       cfg_(cfg)
-{}
+{
+    sim_.metrics().add("net.nic." + name_, stats_);
+}
+
+Nic::~Nic()
+{
+    sim_.metrics().remove(stats_);
+}
 
 Endpoint &
 Nic::bind(Protocol proto, std::uint16_t port)
@@ -41,6 +49,11 @@ Nic::send(Message m)
     sim::Tick start = std::max(sim_.now(), txBusyUntil_);
     txBusyUntil_ = start + ser;
     co_await sim::sleep(txBusyUntil_ - sim_.now());
+
+    // Request on the wire. First-stamp-wins keeps the response's trip
+    // through the server NIC from overwriting the client-side TX.
+    if (sim::SpanCollector *spans = sim_.spans())
+        spans->stamp(m.traceId, sim::Stage::NicTx, sim_.now());
 
     // Hardware egress latency happens off the sender's back.
     Network &net = network_;

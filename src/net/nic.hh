@@ -153,6 +153,7 @@ class Nic
   public:
     Nic(sim::Simulator &sim, Network &network, std::string name,
         std::uint32_t node, NicConfig cfg);
+    ~Nic();
 
     Nic(const Nic &) = delete;
     Nic &operator=(const Nic &) = delete;

@@ -159,7 +159,11 @@ class QueuePair
     QueuePair(sim::Simulator &sim, std::string name,
               pcie::DeviceMemory &target, RdmaPathModel path)
         : sim_(sim), name_(std::move(name)), target_(target), path_(path)
-    {}
+    {
+        sim_.metrics().add("rdma.qp." + name_, stats_);
+    }
+
+    ~QueuePair() { sim_.metrics().remove(stats_); }
 
     QueuePair(const QueuePair &) = delete;
     QueuePair &operator=(const QueuePair &) = delete;

@@ -95,8 +95,11 @@ Histogram::percentile(double p) const
 {
     if (count_ == 0)
         return 0;
-    if (p < 0.0)
-        p = 0.0;
+    // The lowest rank lands in the bucket containing min_, whose upper
+    // edge can exceed the exact recorded minimum by the ~3% bucket
+    // width; answer p=0 exactly and clamp everything to [min_, max_].
+    if (p <= 0.0)
+        return min_;
     if (p > 100.0)
         p = 100.0;
     // Rank of the requested percentile, at least 1.
@@ -109,7 +112,7 @@ Histogram::percentile(double p) const
         seen += buckets_[i];
         if (seen >= rank) {
             std::uint64_t edge = upperEdge(i);
-            return edge > max_ ? max_ : edge;
+            return edge > max_ ? max_ : edge < min_ ? min_ : edge;
         }
     }
     return max_;

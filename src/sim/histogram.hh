@@ -49,9 +49,14 @@ class Histogram
     /** @return exact arithmetic mean (0 when empty). */
     double mean() const;
 
+    /** @return sum of recorded samples (exact while below 2^53). */
+    double sum() const { return sum_; }
+
     /**
      * @return value at percentile @p p in [0, 100]; an upper bound of
-     * the bucket containing that rank (0 when empty).
+     * the bucket containing that rank, clamped to the exact recorded
+     * [min(), max()] range so percentile(0) == min() and
+     * percentile(100) == max() (0 when empty).
      */
     std::uint64_t percentile(double p) const;
 

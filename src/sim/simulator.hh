@@ -22,9 +22,12 @@
 #include <vector>
 
 #include "logging.hh"
+#include "metrics.hh"
 #include "time.hh"
 
 namespace lynx::sim {
+
+class SpanCollector;
 
 /**
  * Discrete-event simulator: clock + event calendar + coroutine
@@ -88,6 +91,22 @@ class Simulator
 
     /**
      * @{
+     * @name Observability
+     * The metrics registry is always present (registration happens at
+     * component construction, so it is free on hot paths). The span
+     * collector is optional: models stamp only when spans() is
+     * non-null, making per-request tracing one pointer compare when
+     * disabled. See span.hh / metrics.hh.
+     */
+    MetricsRegistry &metrics() { return metrics_; }
+    const MetricsRegistry &metrics() const { return metrics_; }
+
+    SpanCollector *spans() const { return spans_; }
+    void setSpanCollector(SpanCollector *collector) { spans_ = collector; }
+    /** @} */
+
+    /**
+     * @{
      * @name Coroutine registry
      * Live task coroutines register here so that a simulator torn down
      * mid-scenario (e.g. servers still parked on channels) can destroy
@@ -122,6 +141,8 @@ class Simulator
     std::priority_queue<PendingEvent, std::vector<PendingEvent>,
                         std::greater<PendingEvent>> calendar_;
     std::vector<std::coroutine_handle<>> liveCoroutines_;
+    MetricsRegistry metrics_;
+    SpanCollector *spans_ = nullptr;
 };
 
 } // namespace lynx::sim

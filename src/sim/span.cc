@@ -1,0 +1,161 @@
+#include "span.hh"
+
+#include <fstream>
+#include <ostream>
+
+#include "logging.hh"
+#include "simulator.hh"
+
+namespace lynx::sim {
+
+const char *
+stageName(Stage s)
+{
+    switch (s) {
+    case Stage::ClientTx: return "client_tx";
+    case Stage::NicTx: return "nic_tx";
+    case Stage::SnicIngress: return "snic_ingress";
+    case Stage::DispatchEnqueue: return "dispatch_enqueue";
+    case Stage::MqueueWrite: return "mqueue_write";
+    case Stage::GioPop: return "gio_pop";
+    case Stage::AppStart: return "app_start";
+    case Stage::AppEnd: return "app_end";
+    case Stage::ForwarderTx: return "forwarder_tx";
+    case Stage::ClientRx: return "client_rx";
+    }
+    return "?";
+}
+
+SpanCollector::SpanCollector(Simulator &sim) : sim_(sim)
+{
+    sim_.setSpanCollector(this);
+}
+
+SpanCollector::~SpanCollector()
+{
+    if (sim_.spans() == this)
+        sim_.setSpanCollector(nullptr);
+}
+
+std::uint64_t
+SpanCollector::begin(Tick now)
+{
+    // Bound memory if requests never come back (drops, dead queues):
+    // forget the oldest still-open span.
+    if (live_.size() >= kLiveLimit)
+        live_.erase(live_.begin());
+    const std::uint64_t id = nextId_++;
+    RequestSpan &span = live_[id];
+    span.id = id;
+    span.stamp[static_cast<std::size_t>(Stage::ClientTx)] = now;
+    return span.id;
+}
+
+void
+SpanCollector::stamp(std::uint64_t id, Stage stage, Tick now)
+{
+    if (id == 0)
+        return;
+    auto it = live_.find(id);
+    if (it == live_.end())
+        return;
+    Tick &slot = it->second.stamp[static_cast<std::size_t>(stage)];
+    if (slot == maxTick)
+        slot = now;
+}
+
+void
+SpanCollector::bindTag(const void *mem, std::uint64_t base, std::uint32_t tag,
+                       std::uint64_t id)
+{
+    if (id == 0)
+        return;
+    tagBindings_[TagKey{mem, base, tag}] = id;
+}
+
+void
+SpanCollector::stampTag(const void *mem, std::uint64_t base, std::uint32_t tag,
+                        Stage stage, Tick now)
+{
+    auto it = tagBindings_.find(TagKey{mem, base, tag});
+    if (it != tagBindings_.end())
+        stamp(it->second, stage, now);
+}
+
+void
+SpanCollector::unbindTag(const void *mem, std::uint64_t base,
+                         std::uint32_t tag)
+{
+    tagBindings_.erase(TagKey{mem, base, tag});
+}
+
+void
+SpanCollector::finish(std::uint64_t id, Tick now)
+{
+    if (id == 0)
+        return;
+    auto it = live_.find(id);
+    if (it == live_.end())
+        return;
+    RequestSpan span = it->second;
+    live_.erase(it);
+    span.stamp[static_cast<std::size_t>(Stage::ClientRx)] = now;
+
+    // Fold: each stamped stage records its delta to the previous
+    // stamped stage, so the per-request deltas sum exactly to the
+    // end-to-end latency no matter which hops a deployment has.
+    Tick prev = span.at(Stage::ClientTx);
+    for (std::size_t i = 1; i < kNumStages; ++i) {
+        if (span.stamp[i] == maxTick)
+            continue;
+        LYNX_ASSERT(span.stamp[i] >= prev, "span stamps not monotone");
+        stageHist_[i].record(span.stamp[i] - prev);
+        prev = span.stamp[i];
+    }
+    totalHist_.record(now - span.at(Stage::ClientTx));
+    ++finished_;
+
+    if (done_.size() < retainLimit_)
+        done_.push_back(span);
+    else
+        ++dropped_;
+}
+
+void
+SpanCollector::writeChromeTrace(std::ostream &os) const
+{
+    const auto oldPrecision = os.precision(15);
+    os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+    bool first = true;
+    for (const RequestSpan &span : done_) {
+        Tick prev = span.at(Stage::ClientTx);
+        for (std::size_t i = 1; i < kNumStages; ++i) {
+            if (span.stamp[i] == maxTick)
+                continue;
+            if (!first)
+                os << ",";
+            first = false;
+            // Complete event covering [prev, stamp): ts/dur in us.
+            os << "{\"name\":\"" << stageName(static_cast<Stage>(i))
+               << "\",\"ph\":\"X\",\"pid\":1,\"tid\":" << span.id
+               << ",\"ts\":" << toMicroseconds(prev)
+               << ",\"dur\":" << toMicroseconds(span.stamp[i] - prev)
+               << ",\"args\":{\"trace_id\":" << span.id << "}}";
+            prev = span.stamp[i];
+        }
+    }
+    os << "]}\n";
+    os.precision(oldPrecision);
+}
+
+bool
+SpanCollector::writeChromeTrace(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    writeChromeTrace(out);
+    return out.good();
+}
+
+} // namespace lynx::sim

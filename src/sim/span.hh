@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Per-request span tracing (Dapper-style distributed tracing).
+ *
+ * A SpanCollector assigns each request a trace id that rides in
+ * net::Message::traceId and gets *stamped* — never slept on — at each
+ * pipeline hop: client NIC TX, SmartNIC ingress, dispatcher enqueue,
+ * RDMA mqueue write, accelerator gio pop, app compute start/end,
+ * forwarder TX and client RX. On finish() the stamps are folded into
+ * per-stage Histograms (delta to the previous stamped stage), so the
+ * stage deltas of one request sum exactly to its end-to-end latency
+ * and benchmarks can print the paper's §6.2-style breakdown tables.
+ *
+ * Zero-cost discipline: the collector only records metadata. It never
+ * schedules events, charges CPU, or changes message sizes, so enabling
+ * it cannot move a single simulated timestamp — the golden-timestamp
+ * tests assert this with stamping both off and on. Hot paths guard
+ * every stamp behind one null-pointer check (Simulator::spans()).
+ *
+ * The RDMA slot format carries a 32-bit tag, not the 64-bit trace id,
+ * and widening a slot would change serialization timing; stages on the
+ * accelerator side of the mqueue therefore resolve the id through a
+ * (ring identity, tag) side table maintained by bindTag()/unbindTag()
+ * around the tag's allocate/release lifecycle.
+ */
+
+#ifndef LYNX_SIM_SPAN_HH
+#define LYNX_SIM_SPAN_HH
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "histogram.hh"
+#include "time.hh"
+
+namespace lynx::sim {
+
+class Simulator;
+
+/** Pipeline hops a request is stamped at, in pipeline order. */
+enum class Stage : unsigned {
+    ClientTx = 0,    ///< load generator hands the request to its NIC
+    NicTx,           ///< client NIC done serializing, on the wire
+    SnicIngress,     ///< SmartNIC runtime received it off the stack
+    DispatchEnqueue, ///< dispatcher picked an mqueue and allocated a tag
+    MqueueWrite,     ///< RDMA write into accelerator ring completed
+    GioPop,          ///< accelerator-side gio observed the doorbell
+    AppStart,        ///< app handler began computing
+    AppEnd,          ///< app handler produced the response
+    ForwarderTx,     ///< forwarder handed the response to the NIC
+    ClientRx,        ///< load generator received the response
+};
+
+constexpr std::size_t kNumStages = 10;
+
+/** @return short lower-case name of @p s ("nic_tx", "gio_pop", ...). */
+const char *stageName(Stage s);
+
+/** One request's stamps; maxTick marks a stage that never happened. */
+struct RequestSpan
+{
+    std::uint64_t id = 0;
+    std::array<Tick, kNumStages> stamp;
+
+    RequestSpan() { stamp.fill(maxTick); }
+
+    bool stamped(Stage s) const
+    {
+        return stamp[static_cast<std::size_t>(s)] != maxTick;
+    }
+    Tick at(Stage s) const { return stamp[static_cast<std::size_t>(s)]; }
+};
+
+/**
+ * Collects RequestSpans and aggregates them into per-stage latency
+ * histograms. Construction installs the collector on the simulator
+ * (Simulator::spans()); destruction uninstalls it.
+ */
+class SpanCollector
+{
+  public:
+    explicit SpanCollector(Simulator &sim);
+    ~SpanCollector();
+
+    SpanCollector(const SpanCollector &) = delete;
+    SpanCollector &operator=(const SpanCollector &) = delete;
+
+    /** Open a span for a new request; stamps ClientTx. @return its id. */
+    std::uint64_t begin(Tick now);
+
+    /** Stamp @p stage of span @p id; first stamp wins (a response
+     *  re-traversing the NIC must not overwrite the request's TX). */
+    void stamp(std::uint64_t id, Stage stage, Tick now);
+
+    /**
+     * @{
+     * @name Tag side table
+     * Accelerator-side hops only see the 32-bit slot tag; the ring is
+     * identified by (memory object, ring base) so tags of different
+     * mqueues never collide.
+     */
+    void bindTag(const void *mem, std::uint64_t base, std::uint32_t tag,
+                 std::uint64_t id);
+    void stampTag(const void *mem, std::uint64_t base, std::uint32_t tag,
+                  Stage stage, Tick now);
+    void unbindTag(const void *mem, std::uint64_t base, std::uint32_t tag);
+    /** @} */
+
+    /** Close span @p id: stamps ClientRx, folds the stage deltas into
+     *  the histograms and retains the span for export. */
+    void finish(std::uint64_t id, Tick now);
+
+    /** @return spans opened / closed so far. */
+    std::uint64_t started() const { return nextId_ - 1; }
+    std::uint64_t finished() const { return finished_; }
+
+    /** Delta from the previous *stamped* stage to @p s, over all
+     *  finished spans (empty for Stage::ClientTx). */
+    const Histogram &stageHistogram(Stage s) const
+    {
+        return stageHist_[static_cast<std::size_t>(s)];
+    }
+
+    /** End-to-end ClientTx -> ClientRx latency of finished spans. */
+    const Histogram &totalHistogram() const { return totalHist_; }
+
+    /** Finished spans retained for export (retention stops at the
+     *  limit; overflow counted in droppedSpans()). */
+    const std::vector<RequestSpan> &spans() const { return done_; }
+
+    /** Cap on retained finished spans (default 100000). */
+    void setRetainLimit(std::size_t n) { retainLimit_ = n; }
+    std::uint64_t droppedSpans() const { return dropped_; }
+
+    /**
+     * @{
+     * @name Chrome trace-event export
+     * Writes {"traceEvents":[...]} with one complete ("ph":"X") event
+     * per stage delta, ts/dur in microseconds, tid = request id —
+     * loadable in Perfetto / chrome://tracing.
+     */
+    void writeChromeTrace(std::ostream &os) const;
+    bool writeChromeTrace(const std::string &path) const;
+    /** @} */
+
+  private:
+    struct TagKey
+    {
+        const void *mem;
+        std::uint64_t base;
+        std::uint32_t tag;
+
+        bool
+        operator<(const TagKey &o) const
+        {
+            if (mem != o.mem)
+                return mem < o.mem;
+            if (base != o.base)
+                return base < o.base;
+            return tag < o.tag;
+        }
+    };
+
+    /** Bound on spans begun but never finished (drops, timeouts). */
+    static constexpr std::size_t kLiveLimit = 1 << 16;
+
+    Simulator &sim_;
+    std::uint64_t nextId_ = 1;
+    std::uint64_t finished_ = 0;
+    std::uint64_t dropped_ = 0;
+    std::size_t retainLimit_ = 100000;
+    std::map<std::uint64_t, RequestSpan> live_;
+    std::map<TagKey, std::uint64_t> tagBindings_;
+    std::vector<RequestSpan> done_;
+    std::array<Histogram, kNumStages> stageHist_;
+    Histogram totalHist_;
+};
+
+} // namespace lynx::sim
+
+#endif // LYNX_SIM_SPAN_HH

@@ -67,6 +67,18 @@ class StatSet
     /** Dump a human-readable summary to @p os. */
     void dump(std::ostream &os, const std::string &prefix = "") const;
 
+    /** @{
+     *  @name Read-only iteration (metrics registry snapshots). */
+    const std::map<std::string, Counter> &counters() const
+    {
+        return counters_;
+    }
+    const std::map<std::string, Histogram> &histograms() const
+    {
+        return histograms_;
+    }
+    /** @} */
+
   private:
     std::map<std::string, Counter> counters_;
     std::map<std::string, Histogram> histograms_;

@@ -19,12 +19,10 @@ struct State
         const char *env = std::getenv("LYNX_TRACE");
         if (!env)
             return;
-        std::stringstream ss(env);
-        std::string item;
-        while (std::getline(ss, item, ',')) {
+        for (const std::string &item : TraceControl::parseCategories(env)) {
             if (item == "all")
                 all = true;
-            else if (!item.empty())
+            else
                 categories.insert(item);
         }
     }
@@ -44,6 +42,24 @@ envOnly()
 }
 
 } // namespace
+
+std::vector<std::string>
+TraceControl::parseCategories(const std::string &list)
+{
+    std::vector<std::string> out;
+    std::stringstream ss(list);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+        // "mqueue, rdma" must enable both: strip surrounding blanks
+        // before matching (an untrimmed " rdma" never matches "rdma").
+        const auto from = item.find_first_not_of(" \t");
+        if (from == std::string::npos)
+            continue;
+        const auto to = item.find_last_not_of(" \t");
+        out.push_back(item.substr(from, to - from + 1));
+    }
+    return out;
+}
 
 bool
 TraceControl::enabled(const std::string &category)

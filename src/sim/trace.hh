@@ -17,6 +17,7 @@
 #define LYNX_SIM_TRACE_HH
 
 #include <string>
+#include <vector>
 
 #include "logging.hh"
 #include "simulator.hh"
@@ -36,6 +37,14 @@ class TraceControl
 
     /** Drop every programmatic enable (environment settings stay). */
     static void reset();
+
+    /**
+     * Parse a comma-separated category list as the LYNX_TRACE
+     * environment variable does: whitespace around tokens is ignored
+     * ("mqueue, rdma" enables both) and empty tokens are dropped.
+     * Exposed so the env-parsing path is unit-testable.
+     */
+    static std::vector<std::string> parseCategories(const std::string &list);
 
     /** Emit one trace line (used by the macro; category pre-checked). */
     static void emit(Tick now, const std::string &category,

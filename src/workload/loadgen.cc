@@ -1,5 +1,7 @@
 #include "loadgen.hh"
 
+#include "sim/span.hh"
+
 namespace lynx::workload {
 
 sim::Co<std::optional<net::Message>>
@@ -18,9 +20,16 @@ recvTimeout(sim::Simulator &sim, net::Endpoint &ep, sim::Tick timeout,
 }
 
 LoadGen::LoadGen(sim::Simulator &sim, LoadGenConfig cfg)
-    : sim_(sim), cfg_(std::move(cfg)), rng_(cfg_.seed)
+    : sim_(sim), cfg_(std::move(cfg)), rng_(cfg_.seed),
+      cStaleResponses_(&stats_.counter("stale_responses"))
 {
     LYNX_FATAL_IF(!cfg_.nic, "load generator needs a client NIC");
+    sim_.metrics().add("workload.loadgen", stats_);
+}
+
+LoadGen::~LoadGen()
+{
+    sim_.metrics().remove(stats_);
 }
 
 void
@@ -39,6 +48,8 @@ LoadGen::start()
 void
 LoadGen::recordResponse(const net::Message &resp)
 {
+    if (sim::SpanCollector *spans = sim_.spans())
+        spans->finish(resp.traceId, sim_.now());
     if (cfg_.validate && !cfg_.validate(resp))
         ++failures_;
     if (inWindow(sim_.now()) && inWindow(resp.sentAt)) {
@@ -71,19 +82,37 @@ LoadGen::closedWorker(int idx)
         m.payload = cfg_.makeRequest(seq, rng);
         m.seq = seq;
         m.sentAt = sim_.now();
+        if (sim::SpanCollector *spans = sim_.spans())
+            m.traceId = spans->begin(sim_.now());
         if (inWindow(sim_.now()))
             ++sent_;
         co_await cfg_.nic->send(std::move(m));
 
-        auto resp = co_await recvTimeout(sim_, ep, cfg_.requestTimeout);
-        if (!resp) {
+        // Receive until the outstanding seq answers or the deadline
+        // passes. A response whose echoed seq does not match is a
+        // *stale* reply to an earlier, timed-out request: recording it
+        // would attribute the old request's (long) round trip to this
+        // request's latency sample, so it is discarded and counted.
+        sim::Tick deadline = sim_.now() + cfg_.requestTimeout;
+        bool matched = false;
+        for (;;) {
+            sim::Tick remaining =
+                deadline > sim_.now() ? deadline - sim_.now() : 0;
+            auto resp = co_await recvTimeout(sim_, ep, remaining);
+            if (!resp)
+                break;
+            if (resp->seq != seq) {
+                cStaleResponses_->add();
+                continue;
+            }
+            recordResponse(*resp);
+            matched = true;
+            break;
+        }
+        if (!matched) {
             ++timeouts_;
             continue;
         }
-        if (resp->seq != seq)
-            sim::warn("loadgen: out-of-order response (want ", seq,
-                      " got ", resp->seq, ")");
-        recordResponse(*resp);
         if (cfg_.thinkTime) {
             co_await sim::sleep(static_cast<sim::Tick>(
                 rng.exponential(static_cast<double>(cfg_.thinkTime))));
@@ -104,6 +133,8 @@ LoadGen::openSender()
         m.payload = cfg_.makeRequest(seq, rng_);
         m.seq = seq;
         m.sentAt = sim_.now();
+        if (sim::SpanCollector *spans = sim_.spans())
+            m.traceId = spans->begin(sim_.now());
         if (inWindow(sim_.now()))
             ++sent_;
         co_await cfg_.nic->send(std::move(m));

@@ -92,6 +92,7 @@ class LoadGen
 {
   public:
     LoadGen(sim::Simulator &sim, LoadGenConfig cfg);
+    ~LoadGen();
 
     LoadGen(const LoadGen &) = delete;
     LoadGen &operator=(const LoadGen &) = delete;
@@ -121,6 +122,20 @@ class LoadGen
 
     /** @return request timeouts observed (closed loop only). */
     std::uint64_t timeouts() const { return timeouts_; }
+
+    /** @return closed-loop responses discarded because their echoed
+     *  seq did not match the outstanding request (a reply outliving
+     *  its requestTimeout must not be attributed to the *next*
+     *  request's latency sample). */
+    std::uint64_t
+    staleResponses() const
+    {
+        return stats_.counterValue("stale_responses");
+    }
+
+    /** Counters ("stale_responses"), registered as
+     *  "workload.loadgen" in the simulator's metrics registry. */
+    sim::StatSet &stats() { return stats_; }
 
     /** @return completed-per-second over the window. */
     double
@@ -155,6 +170,8 @@ class LoadGen
     std::uint64_t sent_ = 0;
     std::uint64_t failures_ = 0;
     std::uint64_t timeouts_ = 0;
+    sim::StatSet stats_;
+    sim::Counter *cStaleResponses_;
 };
 
 } // namespace lynx::workload

@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Minimal recursive-descent JSON parser for tests that must prove an
+ * exported document (Chrome trace, metrics snapshot) is well-formed
+ * and round-trips — *not* a general-purpose library. Supports
+ * objects, arrays, strings (with \" and \\ escapes), numbers, true/
+ * false/null. Throws std::runtime_error on malformed input so a
+ * failing parse surfaces as a test failure.
+ */
+
+#ifndef LYNX_TESTS_JSON_LITE_HH
+#define LYNX_TESTS_JSON_LITE_HH
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace jsonlite {
+
+struct Value
+{
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string str;
+    std::vector<Value> items;
+    std::map<std::string, Value> fields;
+
+    bool isObject() const { return kind == Kind::Object; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isNumber() const { return kind == Kind::Number; }
+    bool isString() const { return kind == Kind::String; }
+
+    bool has(const std::string &key) const
+    {
+        return kind == Kind::Object && fields.count(key) > 0;
+    }
+
+    const Value &
+    at(const std::string &key) const
+    {
+        auto it = fields.find(key);
+        if (kind != Kind::Object || it == fields.end())
+            throw std::runtime_error("json: missing key " + key);
+        return it->second;
+    }
+};
+
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : s_(text) {}
+
+    Value
+    parse()
+    {
+        Value v = value();
+        skipWs();
+        if (pos_ != s_.size())
+            fail("trailing garbage");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &what) const
+    {
+        throw std::runtime_error("json: " + what + " at offset " +
+                                 std::to_string(pos_));
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < s_.size() &&
+               std::isspace(static_cast<unsigned char>(s_[pos_])))
+            ++pos_;
+    }
+
+    char
+    peek()
+    {
+        skipWs();
+        if (pos_ >= s_.size())
+            fail("unexpected end");
+        return s_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    bool
+    consume(const std::string &word)
+    {
+        if (s_.compare(pos_, word.size(), word) != 0)
+            return false;
+        pos_ += word.size();
+        return true;
+    }
+
+    Value
+    value()
+    {
+        char c = peek();
+        switch (c) {
+        case '{': return object();
+        case '[': return array();
+        case '"': return string();
+        case 't':
+        case 'f':
+        case 'n': return keyword();
+        default: return number();
+        }
+    }
+
+    Value
+    object()
+    {
+        expect('{');
+        Value v;
+        v.kind = Value::Kind::Object;
+        if (peek() == '}') {
+            ++pos_;
+            return v;
+        }
+        for (;;) {
+            Value key = string();
+            expect(':');
+            v.fields[key.str] = value();
+            char c = peek();
+            ++pos_;
+            if (c == '}')
+                return v;
+            if (c != ',')
+                fail("expected ',' or '}'");
+        }
+    }
+
+    Value
+    array()
+    {
+        expect('[');
+        Value v;
+        v.kind = Value::Kind::Array;
+        if (peek() == ']') {
+            ++pos_;
+            return v;
+        }
+        for (;;) {
+            v.items.push_back(value());
+            char c = peek();
+            ++pos_;
+            if (c == ']')
+                return v;
+            if (c != ',')
+                fail("expected ',' or ']'");
+        }
+    }
+
+    Value
+    string()
+    {
+        expect('"');
+        Value v;
+        v.kind = Value::Kind::String;
+        while (pos_ < s_.size() && s_[pos_] != '"') {
+            char c = s_[pos_++];
+            if (c == '\\') {
+                if (pos_ >= s_.size())
+                    fail("bad escape");
+                char e = s_[pos_++];
+                switch (e) {
+                case '"': v.str += '"'; break;
+                case '\\': v.str += '\\'; break;
+                case '/': v.str += '/'; break;
+                case 'n': v.str += '\n'; break;
+                case 't': v.str += '\t'; break;
+                case 'r': v.str += '\r'; break;
+                default: fail("unsupported escape");
+                }
+            } else {
+                v.str += c;
+            }
+        }
+        if (pos_ >= s_.size())
+            fail("unterminated string");
+        ++pos_; // closing quote
+        return v;
+    }
+
+    Value
+    keyword()
+    {
+        Value v;
+        if (consume("true")) {
+            v.kind = Value::Kind::Bool;
+            v.boolean = true;
+        } else if (consume("false")) {
+            v.kind = Value::Kind::Bool;
+            v.boolean = false;
+        } else if (consume("null")) {
+            v.kind = Value::Kind::Null;
+        } else {
+            fail("unknown keyword");
+        }
+        return v;
+    }
+
+    Value
+    number()
+    {
+        std::size_t start = pos_;
+        while (pos_ < s_.size() &&
+               (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+                s_[pos_] == '-' || s_[pos_] == '+' || s_[pos_] == '.' ||
+                s_[pos_] == 'e' || s_[pos_] == 'E'))
+            ++pos_;
+        if (pos_ == start)
+            fail("expected number");
+        Value v;
+        v.kind = Value::Kind::Number;
+        v.number = std::strtod(s_.substr(start, pos_ - start).c_str(),
+                               nullptr);
+        return v;
+    }
+
+    const std::string &s_;
+    std::size_t pos_ = 0;
+};
+
+inline Value
+parse(const std::string &text)
+{
+    return Parser(text).parse();
+}
+
+} // namespace jsonlite
+
+#endif // LYNX_TESTS_JSON_LITE_HH

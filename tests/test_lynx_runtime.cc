@@ -303,8 +303,10 @@ TEST(LynxRuntime, ClientQueueReachesBackendAndBack)
 TEST(LynxRuntime, RemoteAcceleratorOnlyDiffersByPath)
 {
     // §5.5: a remote accelerator is just a different path model.
-    Deployment d;
+    // remoteMem must outlive the Deployment: the runtime's mqueues keep
+    // a doorbell watcher on it that ~SnicMqueue unregisters.
     pcie::DeviceMemory remoteMem("remote-gpu.mem", 4 << 20);
+    Deployment d;
     auto localPath = rdma::RdmaPathModel{};
     auto remotePath =
         localPath.viaNetwork(calibration::rdmaRemoteExtraOneWay);

@@ -102,6 +102,30 @@ TEST(Histogram, PercentileNeverExceedsMax)
     EXPECT_LE(h.percentile(100), h.max());
 }
 
+/**
+ * The percentile endpoints are exact, not bucket-quantized: p0 is
+ * the recorded minimum and p100 the recorded maximum, for any mix of
+ * magnitudes (large values land in wide buckets whose edges can
+ * otherwise under/overshoot the recorded extremes).
+ */
+TEST(Histogram, PercentileEndpointsAreExactMinAndMax)
+{
+    Histogram h;
+    for (std::uint64_t v :
+         {3ull, 17ull, 999ull, 65'537ull, 1'000'000'007ull}) {
+        h.record(v);
+        EXPECT_EQ(h.percentile(0), h.min());
+        EXPECT_EQ(h.percentile(100), h.max());
+    }
+    EXPECT_EQ(h.percentile(0), 3u);
+    EXPECT_EQ(h.percentile(100), 1'000'000'007ull);
+    // Every interior percentile stays inside the recorded range.
+    for (double p : {0.1, 1.0, 25.0, 50.0, 75.0, 99.0, 99.9}) {
+        EXPECT_GE(h.percentile(p), h.min()) << "p=" << p;
+        EXPECT_LE(h.percentile(p), h.max()) << "p=" << p;
+    }
+}
+
 /** Property sweep: percentile error vs. exact reference, per seed. */
 class HistogramProperty : public ::testing::TestWithParam<std::uint64_t>
 {};
@@ -136,6 +160,8 @@ TEST_P(HistogramProperty, PercentilesMatchSortedReferenceWithin4Percent)
     }
     EXPECT_EQ(h.min(), ref.front());
     EXPECT_EQ(h.max(), ref.back());
+    EXPECT_EQ(h.percentile(0), ref.front());
+    EXPECT_EQ(h.percentile(100), ref.back());
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, HistogramProperty,

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Unit tests of the trace-category switchboard (sim/trace.hh): the
+ * LYNX_TRACE comma-list parser must strip surrounding whitespace and
+ * drop empty tokens, and disable("all") must actually clear the
+ * all-categories flag (a regression here silently floods — or
+ * silences — every trace consumer).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/trace.hh"
+
+using lynx::sim::TraceControl;
+
+namespace {
+
+/** Every test starts and ends from the env-only state. */
+struct TraceTest : ::testing::Test
+{
+    void SetUp() override { TraceControl::reset(); }
+    void TearDown() override { TraceControl::reset(); }
+};
+
+} // namespace
+
+TEST_F(TraceTest, ParseCategoriesSplitsOnCommas)
+{
+    auto cats = TraceControl::parseCategories("mqueue,rdma,lynx");
+    ASSERT_EQ(cats.size(), 3u);
+    EXPECT_EQ(cats[0], "mqueue");
+    EXPECT_EQ(cats[1], "rdma");
+    EXPECT_EQ(cats[2], "lynx");
+}
+
+TEST_F(TraceTest, ParseCategoriesTrimsSurroundingWhitespace)
+{
+    // The documented env syntax: "mqueue, rdma" enables both. An
+    // untrimmed " rdma" would never match the "rdma" category.
+    auto cats = TraceControl::parseCategories("  mqueue ,\trdma\t, all ");
+    ASSERT_EQ(cats.size(), 3u);
+    EXPECT_EQ(cats[0], "mqueue");
+    EXPECT_EQ(cats[1], "rdma");
+    EXPECT_EQ(cats[2], "all");
+}
+
+TEST_F(TraceTest, ParseCategoriesDropsEmptyAndBlankTokens)
+{
+    auto cats = TraceControl::parseCategories(",mqueue,, \t ,rdma,");
+    ASSERT_EQ(cats.size(), 2u);
+    EXPECT_EQ(cats[0], "mqueue");
+    EXPECT_EQ(cats[1], "rdma");
+
+    EXPECT_TRUE(TraceControl::parseCategories("").empty());
+    EXPECT_TRUE(TraceControl::parseCategories("  , \t,  ").empty());
+}
+
+TEST_F(TraceTest, EnableDisableRoundTripsOneCategory)
+{
+    EXPECT_FALSE(TraceControl::enabled("mqueue"));
+    TraceControl::enable("mqueue");
+    EXPECT_TRUE(TraceControl::enabled("mqueue"));
+    EXPECT_FALSE(TraceControl::enabled("rdma"));
+    TraceControl::disable("mqueue");
+    EXPECT_FALSE(TraceControl::enabled("mqueue"));
+}
+
+TEST_F(TraceTest, DisableAllClearsTheAllFlag)
+{
+    TraceControl::enable("all");
+    EXPECT_TRUE(TraceControl::enabled("anything"));
+    EXPECT_TRUE(TraceControl::enabled("mqueue"));
+
+    TraceControl::disable("all");
+    EXPECT_FALSE(TraceControl::enabled("anything"));
+    EXPECT_FALSE(TraceControl::enabled("mqueue"));
+}
+
+TEST_F(TraceTest, DisableAllKeepsExplicitCategories)
+{
+    TraceControl::enable("mqueue");
+    TraceControl::enable("all");
+    TraceControl::disable("all");
+    // "all" masks — it must not swallow — the explicit enables.
+    EXPECT_TRUE(TraceControl::enabled("mqueue"));
+    EXPECT_FALSE(TraceControl::enabled("rdma"));
+}

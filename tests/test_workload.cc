@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "net/network.hh"
+#include "sim/fault.hh"
 #include "sim/simulator.hh"
 #include "sim/task.hh"
 #include "workload/datagen.hh"
@@ -160,6 +161,54 @@ TEST(LoadGen, TimeoutsRecoverFromDrops)
 
     EXPECT_EQ(gen.completed(), 0u);
     EXPECT_GE(gen.timeouts(), 5u);
+}
+
+/**
+ * Regression: a response that outlives its requestTimeout must not be
+ * attributed to the *next* outstanding request. Every transfer is
+ * delayed beyond the timeout, so each reply arrives while a later
+ * request is pending; the generator must discard these under
+ * stale_responses instead of recording their (huge) round trips.
+ */
+TEST(LoadGen, StaleResponsesAreDiscardedNotRecorded)
+{
+    sim::Simulator s;
+    net::Network nw(s);
+    auto &serverNic = nw.addNic("server");
+    auto &clientNic = nw.addNic("client");
+
+    sim::FaultConfig fc;
+    fc.delayRate = 1.0; // every transfer held back...
+    fc.delayMin = 5_ms; // ...well past the 2 ms request timeout
+    fc.delayMax = 8_ms;
+    fc.seed = 42;
+    sim::FaultPlan faults(fc);
+    nw.setFaultPlan(&faults);
+
+    EchoService svc{s, serverNic, 0};
+    svc.start(7000);
+
+    workload::LoadGenConfig cfg;
+    cfg.nic = &clientNic;
+    cfg.target = {serverNic.node(), 7000};
+    cfg.concurrency = 1;
+    cfg.warmup = 0;
+    cfg.duration = 60_ms;
+    cfg.requestTimeout = 2_ms;
+    workload::LoadGen gen(s, cfg);
+    gen.start();
+    s.runUntil(gen.windowEnd() + 20_ms);
+
+    // Replies take >= 10 ms round trip against a 2 ms timeout: every
+    // request times out, and the late replies surface as stale.
+    EXPECT_GE(gen.timeouts(), 5u);
+    EXPECT_GE(gen.staleResponses(), 1u);
+    // The bug recorded stale replies as completions of the *current*
+    // request, with round trips far beyond the timeout.
+    EXPECT_EQ(gen.completed(), 0u);
+    EXPECT_EQ(gen.latency().count(), 0u);
+    EXPECT_LE(gen.latency().max(),
+              static_cast<std::uint64_t>(cfg.requestTimeout));
 }
 
 TEST(LoadGen, ValidationFailuresCounted)
