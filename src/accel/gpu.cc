@@ -61,6 +61,18 @@ Gpu::deviceLaunch(int blocks, sim::Tick duration, std::function<void()> body)
     co_await execKernel(blocks, duration, std::move(body));
 }
 
+sim::Co<void>
+Gpu::batchedLaunch(int blocks, sim::Tick perItem, int n,
+                   std::function<void()> body)
+{
+    stats_.counter("device_launches").add();
+    stats_.counter("batched_items").add(static_cast<std::uint64_t>(n));
+    stats_.histogram("batch_size").record(n);
+    co_await sim::sleep(cfg_.deviceLaunchOverhead);
+    co_await execKernel(blocks, batchedDuration(perItem, n),
+                        std::move(body));
+}
+
 GpuDriver::GpuDriver(sim::Simulator &sim, Gpu &gpu, GpuDriverConfig cfg)
     : sim_(sim), gpu_(gpu), cfg_(cfg), lock_(sim, 1)
 {}

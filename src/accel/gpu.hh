@@ -24,6 +24,7 @@
 #ifndef LYNX_ACCEL_GPU_HH
 #define LYNX_ACCEL_GPU_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -61,6 +62,18 @@ struct GpuConfig
     /** Per-child overhead of a device-side (dynamic parallelism)
      *  kernel launch. */
     sim::Tick deviceLaunchOverhead = sim::nanoseconds(1500);
+
+    /** Occupancy-aware batched-launch model (dynamic request
+     *  batching): marginal duration of each additional batched item
+     *  relative to the first, below the saturation point. Canonical
+     *  values live in lynx/calibration.hh (gpuBatch*); accel/ sits
+     *  below lynx/, so the defaults here are numeric copies that
+     *  test_calibration pins equal. */
+    double batchMarginalItemCost = 0.35;
+
+    /** Batched items beyond which each extra item costs full serial
+     *  time (the device is saturated). */
+    int batchOccupancySaturation = 32;
 };
 
 /** Host-driver timing parameters (shared by all streams of a GPU). */
@@ -178,6 +191,36 @@ class Gpu
      */
     sim::Co<void> deviceLaunch(int blocks, sim::Tick duration,
                                std::function<void()> body = {});
+
+    /**
+     * Duration of one kernel that processes @p n batched items of
+     * @p perItem compute each (unscaled). The occupancy-aware model:
+     * each extra item up to `batchOccupancySaturation` costs
+     * `batchMarginalItemCost` of the first (it fills SMs the first
+     * item left idle); past saturation extra items serialize.
+     * @p n = 1 returns @p perItem exactly.
+     */
+    sim::Tick
+    batchedDuration(sim::Tick perItem, int n) const
+    {
+        LYNX_ASSERT(n >= 1, name_, ": batched duration of ", n, " items");
+        int occ = std::min(n, cfg_.batchOccupancySaturation);
+        double factor = 1.0 +
+                        static_cast<double>(occ - 1) *
+                            cfg_.batchMarginalItemCost +
+                        static_cast<double>(n - occ);
+        return static_cast<sim::Tick>(static_cast<double>(perItem) *
+                                      factor);
+    }
+
+    /**
+     * Device-side launch of one kernel over @p n batched items: the
+     * launch overhead is paid ONCE for the batch and the kernel runs
+     * for batchedDuration(@p perItem, @p n). @p n = 1 is tick-exact
+     * with deviceLaunch(blocks, perItem).
+     */
+    sim::Co<void> batchedLaunch(int blocks, sim::Tick perItem, int n,
+                                std::function<void()> body = {});
 
     /** Await one device-local memory access (poll latency). */
     sim::Co<void>

@@ -42,14 +42,37 @@ namespace lynx::apps {
  */
 
 /**
+ * Dynamic request batching policy shared by the persistent-kernel
+ * services. Off by default: maxBatch = 1 leaves the seed per-message
+ * serve loop (and its exact timing) untouched.
+ */
+struct ServiceBatchConfig
+{
+    /** Serve up to this many requests per iteration; 1 = off. */
+    int maxBatch = 1;
+
+    /** Bounded wait to top up a partial batch under backlog. An idle
+     *  ring (single ready request) is always served immediately, so
+     *  low-load latency is unaffected; the linger applies once, only
+     *  when 2..maxBatch-1 requests arrived together. 0 = never. */
+    sim::Tick linger = 0;
+};
+
+/**
  * Echo server block: one persistent threadblock polls @p q, waits
  * @p procTime of emulated request processing on the GPU, and sends
  * the payload back ("1 thread which copies the input to the output,
  * and waits for a predefined period emulating request processing",
  * §6.2). Holds one threadblock slot forever.
+ *
+ * With @p batch enabled, requests are drained with recvBatch (one
+ * poll + one consumer update per sweep), processed back-to-back, and
+ * answered with sendBatch (one doorbell write per ring segment);
+ * emulated processing stays serial per request.
  */
 sim::Task runEchoBlock(accel::Gpu &gpu, core::AccelQueue &q,
-                       sim::Tick procTime, std::size_t respBytes = 0);
+                       sim::Tick procTime, std::size_t respBytes = 0,
+                       ServiceBatchConfig batch = {});
 
 /**
  * Vector-scale server block (§3.2 noisy-neighbor victim): requests
@@ -75,6 +98,16 @@ struct LenetServiceConfig
      *  realistic latency distributions; 0 = deterministic. */
     double jitterPct = 0.0;
     std::uint64_t jitterSeed = 99;
+
+    /** Dynamic request batching: classify up to this many images per
+     *  batched child-kernel sequence (one launch per layer for the
+     *  whole batch, occupancy-aware duration). 1 = off (seed
+     *  behaviour, bit-identical timing). */
+    int maxBatch = 1;
+
+    /** Bounded top-up wait for a partial batch under backlog (see
+     *  ServiceBatchConfig::linger). */
+    sim::Tick batchLinger = 0;
 };
 
 /**
@@ -114,9 +147,16 @@ constexpr double faceVerThreshold = 400.0;
  * from the KV backend through @p dbQ (client mqueue), runs the LBP
  * compare (≈50 us of GPU time, real LBP result), and replies with a
  * FaceVerResult byte.
+ *
+ * With @p batch enabled, a drained batch issues its backend GETs as
+ * one sendBatch on @p dbQ, collects the replies, charges one
+ * occupancy-aware batched LBP kernel for the whole batch, and
+ * answers with one sendBatch on @p serverQ. Per-request answers are
+ * bit-identical to the unbatched path.
  */
 sim::Task runFaceVerWorker(accel::Gpu &gpu, core::AccelQueue &serverQ,
-                           core::AccelQueue &dbQ);
+                           core::AccelQueue &dbQ,
+                           ServiceBatchConfig batch = {});
 
 /*
  * ----- Host-centric (baseline) handlers -----

@@ -47,6 +47,28 @@ bool lbpVerify(std::span<const std::uint8_t> a,
                std::span<const std::uint8_t> b, int w, int h,
                double threshold = 50.0, int cells = 4);
 
+/** One probe/reference image pair of a batched LBP compare. */
+struct LbpPair
+{
+    std::span<const std::uint8_t> a;
+    std::span<const std::uint8_t> b;
+};
+
+/**
+ * Full-pipeline distances for a batch of pairs in one sweep,
+ * reusing the code-image and histogram scratch buffers across the
+ * batch (one batched kernel instead of 2B histogram kernels).
+ * Element @p i is bit-identical to lbpDistance(pairs[i]...).
+ */
+std::vector<double> lbpDistanceBatch(std::span<const LbpPair> pairs,
+                                     int w, int h, int cells = 4);
+
+/** Batched lbpVerify(): element @p i is 1 iff pair @p i matches. */
+std::vector<std::uint8_t> lbpVerifyBatch(std::span<const LbpPair> pairs,
+                                         int w, int h,
+                                         double threshold = 50.0,
+                                         int cells = 4);
+
 } // namespace lynx::apps
 
 #endif // LYNX_APPS_LBP_HH

@@ -75,6 +75,23 @@ class LeNet
     /** @return the argmax class of forward(@p image). */
     int classify(std::span<const std::uint8_t> image) const;
 
+    /**
+     * Run the forward pass over a batch of images in one sweep: every
+     * layer iterates its weights once and applies each weight to all
+     * B images while it is hot (the batch dimension is the innermost
+     * loop), the way one batched kernel replaces B per-image kernels.
+     * Per-image accumulation order is unchanged, so element @p b of
+     * the result is bit-identical to forward(@p images[b]).
+     */
+    std::vector<std::array<float, numClasses>>
+    forwardBatch(std::span<const std::span<const std::uint8_t>> images)
+        const;
+
+    /** @return the per-image argmax classes of forwardBatch(). */
+    std::vector<int>
+    classifyBatch(std::span<const std::span<const std::uint8_t>> images)
+        const;
+
     /** @return the parameters. */
     const LeNetParams &params() const { return params_; }
 

@@ -1,5 +1,7 @@
 #include "gio.hh"
 
+#include <algorithm>
+
 #include "sim/span.hh"
 
 namespace lynx::core {
@@ -66,7 +68,7 @@ AccelQueue::recv()
         SlotMeta meta = readSlotMeta(mem_, slotEnd);
         if (meta.seq == static_cast<std::uint32_t>(rxConsumed_ + 1)) {
             if (cfg_.rxBurst) {
-                co_await sweepReady();
+                co_await sweepReady(layout_.slots);
                 if (!burst_.empty()) {
                     GioMessage msg = std::move(burst_.front());
                     burst_.pop_front();
@@ -114,8 +116,74 @@ AccelQueue::recv()
     }
 }
 
+std::vector<GioMessage>
+AccelQueue::popBurst(std::size_t maxN)
+{
+    std::vector<GioMessage> out;
+    out.reserve(std::min(maxN, burst_.size()));
+    sim::SpanCollector *spans = sim_.spans();
+    while (out.size() < maxN && !burst_.empty()) {
+        GioMessage msg = std::move(burst_.front());
+        burst_.pop_front();
+        if (spans)
+            spans->stampTag(&mem_, layout_.base, msg.tag,
+                            sim::Stage::AppStart, sim_.now());
+        out.push_back(std::move(msg));
+    }
+    return out;
+}
+
+sim::Co<std::vector<GioMessage>>
+AccelQueue::recvBatch(std::size_t maxN)
+{
+    LYNX_ASSERT(maxN >= 1, name_, ": recvBatch of ", maxN, " messages");
+    for (;;) {
+        // Earlier sweeps may have staged more than their caller took.
+        if (!burst_.empty())
+            break;
+        rxActivity_.close();
+        // One doorbell poll discovers the whole run of ready slots.
+        co_await sim::sleep(cfg_.localLatency);
+        SlotMeta meta = readSlotMeta(mem_, layout_.rxSlotEnd(rxConsumed_));
+        if (meta.seq == static_cast<std::uint32_t>(rxConsumed_ + 1)) {
+            co_await sweepReady(maxN);
+            if (!burst_.empty())
+                break;
+            // Every swept slot was a repaired-gap marker.
+            continue;
+        }
+        co_await rxActivity_.wait();
+    }
+    std::vector<GioMessage> out = popBurst(maxN);
+    stats_.counter("batch.recvs").add();
+    stats_.counter("batch.recv_msgs").add(out.size());
+    stats_.histogram("batch.recv_size").record(out.size());
+    co_return out;
+}
+
+sim::Co<std::vector<GioMessage>>
+AccelQueue::tryRecvBatch(std::size_t maxN)
+{
+    LYNX_ASSERT(maxN >= 1, name_, ": tryRecvBatch of ", maxN,
+                " messages");
+    if (burst_.empty()) {
+        // One probe of the doorbell word; no parking.
+        co_await sim::sleep(cfg_.localLatency);
+        SlotMeta meta = readSlotMeta(mem_, layout_.rxSlotEnd(rxConsumed_));
+        if (meta.seq == static_cast<std::uint32_t>(rxConsumed_ + 1))
+            co_await sweepReady(maxN);
+    }
+    std::vector<GioMessage> out = popBurst(maxN);
+    if (!out.empty()) {
+        stats_.counter("batch.recvs").add();
+        stats_.counter("batch.recv_msgs").add(out.size());
+        stats_.histogram("batch.recv_size").record(out.size());
+    }
+    co_return out;
+}
+
 sim::Co<void>
-AccelQueue::sweepReady()
+AccelQueue::sweepReady(std::uint64_t maxSlots)
 {
     // Multi-slot doorbell consumption: a batched SNIC write lands all
     // its doorbells atomically, so the run of consecutive ready slots
@@ -146,7 +214,7 @@ AccelQueue::sweepReady()
             sweptBytes += meta.len;
             burst_.push_back(std::move(msg));
         }
-        if (++drained == layout_.slots)
+        if (++drained == std::min<std::uint64_t>(maxSlots, layout_.slots))
             break;
     }
     LYNX_ASSERT(drained > 0, name_, ": burst sweep found no doorbell");
@@ -205,6 +273,78 @@ AccelQueue::send(std::uint32_t tag, std::span<const std::uint8_t> payload,
     ++txProduced_;
     cTxMsgs_->add();
     cTxBytes_->add(meta.len);
+}
+
+sim::Co<void>
+AccelQueue::sendBatch(std::span<const GioTxItem> items)
+{
+    if (items.empty())
+        co_return;
+    // The app hands over every response here: compute for the whole
+    // batch ends now; what follows is commit cost and queueing.
+    sim::SpanCollector *spans = sim_.spans();
+    for (const GioTxItem &it : items) {
+        LYNX_ASSERT(it.payload.size() <= layout_.maxPayload(), name_,
+                    ": payload of ", it.payload.size(),
+                    " bytes exceeds slot");
+        if (spans)
+            spans->stampTag(&mem_, layout_.base, it.tag,
+                            sim::Stage::AppEnd, sim_.now());
+    }
+    std::vector<SlotRecord> recs;
+    recs.reserve(items.size());
+    std::size_t sent = 0;
+    while (sent < items.size()) {
+        // Flow control: wait for at least one TX-ring credit.
+        for (;;) {
+            txConsActivity_.close();
+            co_await sim::sleep(cfg_.localLatency);
+            txConsCache_ =
+                advance(txConsCache_, mem_.readU32(layout_.txConsOff()));
+            if (txProduced_ - txConsCache_ < layout_.slots)
+                break;
+            cTxStalls_->add();
+            co_await txConsActivity_.wait();
+        }
+        // Take as many items as credit allows without wrapping the
+        // ring: one contiguous write commits the whole segment.
+        std::uint64_t credit =
+            layout_.slots - (txProduced_ - txConsCache_);
+        std::uint64_t untilWrap =
+            layout_.slots - txProduced_ % layout_.slots;
+        std::size_t n = static_cast<std::size_t>(std::min<std::uint64_t>(
+            {items.size() - sent, credit, untilWrap}));
+        recs.clear();
+        std::uint64_t segBytes = 0;
+        for (std::size_t j = 0; j < n; ++j) {
+            const GioTxItem &it = items[sent + j];
+            SlotMeta meta;
+            meta.len = static_cast<std::uint32_t>(it.payload.size());
+            meta.tag = it.tag;
+            meta.err = it.err;
+            meta.seq = static_cast<std::uint32_t>(txProduced_ + j + 1);
+            recs.push_back({it.payload, meta});
+            segBytes += it.payload.size();
+        }
+        auto [off, buf] =
+            encodeTxBatchSegment(layout_, txProduced_, recs);
+        co_await sim::sleep(
+            cfg_.localLatency +
+            static_cast<sim::Tick>(cfg_.perByte *
+                                   static_cast<double>(segBytes)));
+        // One contiguous low-to-high write: every payload, every
+        // doorbell after its payload, the segment's highest doorbell
+        // last. The SNIC-side TX-ring watchpoint wakes the forwarder
+        // once for the whole segment.
+        mem_.write(off, buf);
+        txProduced_ += n;
+        sent += n;
+        cTxMsgs_->add(n);
+        cTxBytes_->add(segBytes);
+    }
+    stats_.counter("batch.sends").add();
+    stats_.counter("batch.send_msgs").add(items.size());
+    stats_.histogram("batch.send_size").record(items.size());
 }
 
 } // namespace lynx::core

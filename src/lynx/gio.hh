@@ -66,6 +66,20 @@ struct GioMessage
     std::uint32_t err = 0;
 };
 
+/** One outgoing response of a sendBatch() call. */
+struct GioTxItem
+{
+    /** Correlation tag echoed from the request. */
+    std::uint32_t tag = 0;
+
+    /** Response payload (referenced, not copied; must stay alive
+     *  across the sendBatch await). */
+    std::span<const std::uint8_t> payload;
+
+    /** Error status to propagate (0 = none). */
+    std::uint32_t err = 0;
+};
+
 /** Accelerator-side handle of one mqueue. */
 class AccelQueue
 {
@@ -93,6 +107,24 @@ class AccelQueue
     bool rxReady() const;
 
     /**
+     * Await at least one request, then drain up to @p maxN ready RX
+     * slots in one sweep: one doorbell poll discovers the run of
+     * consecutive ready slots, and one consumer-register update
+     * acknowledges all of them (dynamic request batching, the
+     * accelerator-side consumer of the SNIC's batched RDMA pushes).
+     * Surplus ready slots beyond @p maxN stay staged for the next
+     * call. Always returns 1..maxN messages.
+     */
+    sim::Co<std::vector<GioMessage>> recvBatch(std::size_t maxN);
+
+    /**
+     * Non-blocking variant of recvBatch(): pays one doorbell poll and
+     * returns whatever is ready *now* (possibly nothing). Used by the
+     * services' bounded-linger policy to top up a partial batch.
+     */
+    sim::Co<std::vector<GioMessage>> tryRecvBatch(std::size_t maxN);
+
+    /**
      * Write a message into the TX ring and ring its doorbell.
      * Suspends while the TX ring is full (SNIC not yet forwarded).
      */
@@ -100,15 +132,31 @@ class AccelQueue
                        std::span<const std::uint8_t> payload,
                        std::uint32_t err = 0);
 
+    /**
+     * Commit @p items into consecutive TX slots under a single
+     * contiguous low-to-high write per ring segment — payloads first,
+     * each doorbell after its payload, the batch's highest doorbell
+     * last — so the SNIC forwarder's batched TX drain observes the
+     * whole run at once. Splits only at ring wrap or when flow
+     * control runs out of credit (then stalls like send() until the
+     * SNIC returns credit). Equivalent to send() per item, minus the
+     * per-item poll and doorbell costs.
+     */
+    sim::Co<void> sendBatch(std::span<const GioTxItem> items);
+
     /** Messages received / sent counters. */
     sim::StatSet &stats() { return stats_; }
 
   private:
-    /** Sweep the run of consecutive ready RX slots into burst_
-     *  (rxBurst mode; @pre slot rxConsumed_ is ready and its poll
-     *  latency has been paid). Repaired-gap skip slots are consumed
-     *  without staging, so burst_ may stay empty. */
-    sim::Co<void> sweepReady();
+    /** Sweep the run of consecutive ready RX slots — at most
+     *  @p maxSlots of them — into burst_ (@pre slot rxConsumed_ is
+     *  ready and its poll latency has been paid). Repaired-gap skip
+     *  slots are consumed without staging, so burst_ may stay empty. */
+    sim::Co<void> sweepReady(std::uint64_t maxSlots);
+
+    /** Pop up to @p maxN staged messages out of burst_, stamping
+     *  AppStart on each (costs were paid at sweep time). */
+    std::vector<GioMessage> popBurst(std::size_t maxN);
 
     /** Extend 32-bit register value @p observed onto 64-bit @p cache. */
     static std::uint64_t

@@ -215,6 +215,48 @@ struct SlotRecord
     SlotMeta meta;
 };
 
+namespace detail {
+
+/** Shared body of encodeRxBatchSegment/encodeTxBatchSegment:
+ *  serialize @p recs against the slot geometry returned by
+ *  @p slotEndOf (absolute end offset of slot i). */
+template <typename SlotEndFn>
+inline std::pair<std::uint64_t, std::vector<std::uint8_t>>
+encodeBatchSegment(const MqueueLayout &l, std::uint64_t firstSlot,
+                   std::span<const SlotRecord> recs, SlotEndFn slotEndOf)
+{
+    LYNX_ASSERT(!recs.empty(), "empty batch segment");
+    LYNX_ASSERT(firstSlot % l.slots + recs.size() <= l.slots,
+                "batch segment wraps the ring");
+    std::uint64_t begin =
+        slotWriteOffset(slotEndOf(firstSlot), recs[0].meta.len);
+    std::uint64_t end = slotEndOf(firstSlot + recs.size() - 1);
+    std::vector<std::uint8_t> buf(end - begin, 0);
+    for (std::size_t j = 0; j < recs.size(); ++j) {
+        const SlotRecord &r = recs[j];
+        LYNX_ASSERT(r.payload.size() == r.meta.len,
+                    "metadata length mismatch");
+        std::uint64_t slotEnd = slotEndOf(firstSlot + j);
+        std::size_t at = static_cast<std::size_t>(
+            slotWriteOffset(slotEnd, r.meta.len) - begin);
+        std::copy(r.payload.begin(), r.payload.end(), buf.begin() + at);
+        auto putU32 = [&](std::size_t off, std::uint32_t v) {
+            buf[off] = static_cast<std::uint8_t>(v);
+            buf[off + 1] = static_cast<std::uint8_t>(v >> 8);
+            buf[off + 2] = static_cast<std::uint8_t>(v >> 16);
+            buf[off + 3] = static_cast<std::uint8_t>(v >> 24);
+        };
+        std::size_t m = at + r.payload.size();
+        putU32(m + 0, r.meta.len);
+        putU32(m + 4, r.meta.tag);
+        putU32(m + 8, r.meta.err);
+        putU32(m + 12, r.meta.seq);
+    }
+    return {begin, std::move(buf)};
+}
+
+} // namespace detail
+
 /**
  * Serialize @p recs into ONE contiguous buffer covering RX slots
  * [firstSlot, firstSlot + recs.size()) — the batched variant of
@@ -233,34 +275,29 @@ inline std::pair<std::uint64_t, std::vector<std::uint8_t>>
 encodeRxBatchSegment(const MqueueLayout &l, std::uint64_t firstSlot,
                      std::span<const SlotRecord> recs)
 {
-    LYNX_ASSERT(!recs.empty(), "empty batch segment");
-    LYNX_ASSERT(firstSlot % l.slots + recs.size() <= l.slots,
-                "batch segment wraps the RX ring");
-    std::uint64_t begin =
-        slotWriteOffset(l.rxSlotEnd(firstSlot), recs[0].meta.len);
-    std::uint64_t end = l.rxSlotEnd(firstSlot + recs.size() - 1);
-    std::vector<std::uint8_t> buf(end - begin, 0);
-    for (std::size_t j = 0; j < recs.size(); ++j) {
-        const SlotRecord &r = recs[j];
-        LYNX_ASSERT(r.payload.size() == r.meta.len,
-                    "metadata length mismatch");
-        std::uint64_t slotEnd = l.rxSlotEnd(firstSlot + j);
-        std::size_t at = static_cast<std::size_t>(
-            slotWriteOffset(slotEnd, r.meta.len) - begin);
-        std::copy(r.payload.begin(), r.payload.end(), buf.begin() + at);
-        auto putU32 = [&](std::size_t off, std::uint32_t v) {
-            buf[off] = static_cast<std::uint8_t>(v);
-            buf[off + 1] = static_cast<std::uint8_t>(v >> 8);
-            buf[off + 2] = static_cast<std::uint8_t>(v >> 16);
-            buf[off + 3] = static_cast<std::uint8_t>(v >> 24);
-        };
-        std::size_t m = at + r.payload.size();
-        putU32(m + 0, r.meta.len);
-        putU32(m + 4, r.meta.tag);
-        putU32(m + 8, r.meta.err);
-        putU32(m + 12, r.meta.seq);
-    }
-    return {begin, std::move(buf)};
+    return detail::encodeBatchSegment(
+        l, firstSlot, recs,
+        [&l](std::uint64_t i) { return l.rxSlotEnd(i); });
+}
+
+/**
+ * TX-side twin of encodeRxBatchSegment: serialize @p recs into one
+ * contiguous buffer covering TX slots [firstSlot, firstSlot +
+ * recs.size()). Used by gio's sendBatch so one low-to-high local
+ * write commits a whole run of response slots, every doorbell
+ * landing after its payload and the batch's highest doorbell last —
+ * the accelerator-side mirror of the §5.1 coalescing rule.
+ *
+ * @pre the segment does not wrap the ring.
+ * @return {target offset of the write, buffer}.
+ */
+inline std::pair<std::uint64_t, std::vector<std::uint8_t>>
+encodeTxBatchSegment(const MqueueLayout &l, std::uint64_t firstSlot,
+                     std::span<const SlotRecord> recs)
+{
+    return detail::encodeBatchSegment(
+        l, firstSlot, recs,
+        [&l](std::uint64_t i) { return l.txSlotEnd(i); });
 }
 
 /** Parse the metadata trailer from a full-slot snapshot buffer. */

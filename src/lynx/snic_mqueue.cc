@@ -467,6 +467,7 @@ SnicMqueue::pollTxBatch(sim::Core &core, std::size_t maxN)
     cTxFetchOps_->add();
     cTxPopped_->add(k);
     cTxBytes_->add(payloadBytes);
+    stats_.histogram("tx_batch_size").record(k);
     co_return out;
 }
 
