@@ -83,7 +83,7 @@ measureHostCentric(bool noisy)
         co_await st.launch(core, 1, 20_us);
         co_await st.memcpyD2H(core, req.size());
         co_await st.sync(core);
-        co_return req.payload;
+        co_return req.payload.toVector();
     };
     baseline::HostCentricServer srv(s, driver, cfg, handler);
     srv.start();

@@ -37,7 +37,11 @@ SlotPool::admit()
 Gpu::Gpu(sim::Simulator &sim, std::string name, pcie::Fabric &fabric,
          GpuConfig cfg)
     : sim_(sim), name_(std::move(name)), fabric_(fabric), cfg_(cfg),
-      mem_(name_ + ".mem", cfg.memBytes), slots_(sim, cfg.blockSlots)
+      mem_(name_ + ".mem", cfg.memBytes), slots_(sim, cfg.blockSlots),
+      cKernels_(&stats_.counter("kernels")),
+      cDeviceLaunches_(&stats_.counter("device_launches")),
+      cBatchedItems_(&stats_.counter("batched_items")),
+      hBatchSize_(&stats_.histogram("batch_size"))
 {}
 
 sim::Co<void>
@@ -46,7 +50,7 @@ Gpu::execKernel(int blocks, sim::Tick duration, std::function<void()> body)
     LYNX_ASSERT(blocks > 0 && blocks <= cfg_.blockSlots, name_,
                 ": kernel of ", blocks, " blocks exceeds device capacity");
     co_await slots_.acquire(blocks);
-    stats_.counter("kernels").add();
+    cKernels_->add();
     co_await sim::sleep(scaled(duration));
     if (body)
         body();
@@ -56,7 +60,7 @@ Gpu::execKernel(int blocks, sim::Tick duration, std::function<void()> body)
 sim::Co<void>
 Gpu::deviceLaunch(int blocks, sim::Tick duration, std::function<void()> body)
 {
-    stats_.counter("device_launches").add();
+    cDeviceLaunches_->add();
     co_await sim::sleep(cfg_.deviceLaunchOverhead);
     co_await execKernel(blocks, duration, std::move(body));
 }
@@ -65,16 +69,19 @@ sim::Co<void>
 Gpu::batchedLaunch(int blocks, sim::Tick perItem, int n,
                    std::function<void()> body)
 {
-    stats_.counter("device_launches").add();
-    stats_.counter("batched_items").add(static_cast<std::uint64_t>(n));
-    stats_.histogram("batch_size").record(n);
+    cDeviceLaunches_->add();
+    cBatchedItems_->add(static_cast<std::uint64_t>(n));
+    hBatchSize_->record(n);
     co_await sim::sleep(cfg_.deviceLaunchOverhead);
     co_await execKernel(blocks, batchedDuration(perItem, n),
                         std::move(body));
 }
 
 GpuDriver::GpuDriver(sim::Simulator &sim, Gpu &gpu, GpuDriverConfig cfg)
-    : sim_(sim), gpu_(gpu), cfg_(cfg), lock_(sim, 1)
+    : sim_(sim), gpu_(gpu), cfg_(cfg), lock_(sim, 1),
+      cDriverCalls_(&stats_.counter("driver_calls")),
+      cContendedCalls_(&stats_.counter("contended_calls")),
+      cGdrAccesses_(&stats_.counter("gdr_accesses"))
 {}
 
 sim::Co<void>
@@ -83,9 +90,9 @@ GpuDriver::driverCall(sim::Core &core)
     bool contended = lock_.available() == 0;
     co_await lock_.acquire();
     sim::Tick cost = cfg_.submitCost + (contended ? cfg_.contendedExtra : 0);
-    stats_.counter("driver_calls").add();
+    cDriverCalls_->add();
     if (contended)
-        stats_.counter("contended_calls").add();
+        cContendedCalls_->add();
     co_await core.exec(cost);
     lock_.release();
 }
@@ -93,7 +100,7 @@ GpuDriver::driverCall(sim::Core &core)
 sim::Co<void>
 GpuDriver::gdrAccess(sim::Core &core, std::uint64_t bytes)
 {
-    stats_.counter("gdr_accesses").add();
+    cGdrAccesses_->add();
     sim::Tick cost =
         cfg_.gdrBase + static_cast<sim::Tick>(cfg_.gdrPerByte *
                                               static_cast<double>(bytes));

@@ -242,6 +242,12 @@ class Gpu
     pcie::DeviceMemory mem_;
     SlotPool slots_;
     sim::StatSet stats_;
+
+    /** Per-launch metrics handles, resolved once at construction. */
+    sim::Counter *cKernels_;
+    sim::Counter *cDeviceLaunches_;
+    sim::Counter *cBatchedItems_;
+    sim::Histogram *hBatchSize_;
 };
 
 /**
@@ -287,6 +293,11 @@ class GpuDriver
     GpuDriverConfig cfg_;
     sim::Semaphore lock_;
     sim::StatSet stats_;
+
+    /** Per-call metrics handles, resolved once at construction. */
+    sim::Counter *cDriverCalls_;
+    sim::Counter *cContendedCalls_;
+    sim::Counter *cGdrAccesses_;
 };
 
 /**

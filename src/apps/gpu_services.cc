@@ -386,7 +386,7 @@ hostEchoHandler(sim::Tick procTime, int blocks)
         co_await st.launch(core, blocks, procTime);
         co_await st.memcpyD2H(core, req.size());
         co_await st.sync(core);
-        co_return req.payload;
+        co_return req.payload.toVector();
     };
 }
 

@@ -101,7 +101,9 @@ class HostCentricServer
     HostCentricServer(sim::Simulator &sim, accel::GpuDriver &driver,
                       HostServerConfig cfg, HostHandler handler)
         : sim_(sim), cfg_(std::move(cfg)), handler_(std::move(handler)),
-          pool_(sim, driver, cfg_.streams)
+          pool_(sim, driver, cfg_.streams),
+          cRxMsgs_(&stats_.counter("rx_msgs")),
+          cResponses_(&stats_.counter("responses"))
     {
         LYNX_FATAL_IF(!cfg_.nic, cfg_.name, ": needs a NIC");
         LYNX_FATAL_IF(cfg_.cores.empty(), cfg_.name, ": needs cores");
@@ -129,7 +131,7 @@ class HostCentricServer
             net::Message msg = co_await ep.recv();
             co_await core.exec(
                 cfg_.stack.cost(cfg_.proto, net::Dir::Recv, msg.size()));
-            stats_.counter("rx_msgs").add();
+            cRxMsgs_->add();
             // One stream per in-flight request; the handler runs as
             // its own task so the listener keeps receiving.
             accel::Stream *stream = co_await pool_.acquire();
@@ -155,7 +157,7 @@ class HostCentricServer
         co_await core.exec(
             cfg_.stack.cost(out.proto, net::Dir::Send, out.size()));
         co_await cfg_.nic->send(std::move(out));
-        stats_.counter("responses").add();
+        cResponses_->add();
     }
 
     sim::Simulator &sim_;
@@ -163,6 +165,10 @@ class HostCentricServer
     HostHandler handler_;
     StreamPool pool_;
     sim::StatSet stats_;
+
+    /** Per-message counters, resolved once at construction. */
+    sim::Counter *cRxMsgs_;
+    sim::Counter *cResponses_;
 };
 
 } // namespace lynx::baseline

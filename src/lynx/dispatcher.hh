@@ -153,7 +153,7 @@ class Dispatcher
         client.sentAt = msg.sentAt;
         client.traceId = msg.traceId;
         if (cfg_.retainPayloads)
-            client.payload = msg.payload;
+            client.payload = msg.payload.toVector();
         auto tag = mq.allocTag(client);
         if (!tag) {
             cDroppedNoTag_->add();
@@ -258,7 +258,7 @@ class Dispatcher
                 cDroppedTransport_->add();
                 continue;
             }
-            std::vector<std::uint8_t> payload = c->payload;
+            net::Payload payload = c->payload;
             if (co_await redispatch(core, std::move(payload),
                                     std::move(*c)))
                 ++moved;
@@ -275,8 +275,7 @@ class Dispatcher
      * counted under dropped_no_live_queue.
      */
     sim::Co<bool>
-    redispatch(sim::Core &core, std::vector<std::uint8_t> payload,
-               ClientRef client)
+    redispatch(sim::Core &core, net::Payload payload, ClientRef client)
     {
         for (std::size_t tries = queues_.size(); tries > 0; --tries) {
             std::size_t qi = pickLive(client);
@@ -285,7 +284,7 @@ class Dispatcher
             SnicMqueue &mq = *queues_[qi];
             ClientRef c = client;
             if (cfg_.retainPayloads)
-                c.payload = payload;
+                c.payload = payload.toVector();
             auto tag = mq.allocTag(c);
             if (!tag)
                 continue;
@@ -306,7 +305,7 @@ class Dispatcher
   private:
     struct Staged
     {
-        std::vector<std::uint8_t> payload;
+        net::Payload payload;
         std::uint32_t tag;
     };
 

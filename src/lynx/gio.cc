@@ -24,9 +24,14 @@ AccelQueue::AccelQueue(sim::Simulator &sim, std::string name,
     cRxMsgs_ = &stats_.counter("rx_msgs");
     cRxBytes_ = &stats_.counter("rx_bytes");
     cRxBursts_ = &stats_.counter("rx_bursts");
+    cRxSkipped_ = &stats_.counter("rx_skipped");
     cTxMsgs_ = &stats_.counter("tx_msgs");
     cTxBytes_ = &stats_.counter("tx_bytes");
     cTxStalls_ = &stats_.counter("tx_stalls");
+    cBatchRecvs_ = &stats_.counter("batch.recvs");
+    cBatchRecvMsgs_ = &stats_.counter("batch.recv_msgs");
+    cBatchSends_ = &stats_.counter("batch.sends");
+    cBatchSendMsgs_ = &stats_.counter("batch.send_msgs");
 
     sim_.metrics().add("gio." + name_, stats_);
 }
@@ -87,7 +92,7 @@ AccelQueue::recv()
                 mem_.writeU32(layout_.rxConsOff(),
                               static_cast<std::uint32_t>(rxConsumed_));
                 co_await sim::sleep(cfg_.localLatency);
-                stats_.counter("rx_skipped").add();
+                cRxSkipped_->add();
                 continue;
             }
             GioMessage msg;
@@ -155,8 +160,8 @@ AccelQueue::recvBatch(std::size_t maxN)
         co_await rxActivity_.wait();
     }
     std::vector<GioMessage> out = popBurst(maxN);
-    stats_.counter("batch.recvs").add();
-    stats_.counter("batch.recv_msgs").add(out.size());
+    cBatchRecvs_->add();
+    cBatchRecvMsgs_->add(out.size());
     stats_.histogram("batch.recv_size").record(out.size());
     co_return out;
 }
@@ -175,8 +180,8 @@ AccelQueue::tryRecvBatch(std::size_t maxN)
     }
     std::vector<GioMessage> out = popBurst(maxN);
     if (!out.empty()) {
-        stats_.counter("batch.recvs").add();
-        stats_.counter("batch.recv_msgs").add(out.size());
+        cBatchRecvs_->add();
+        cBatchRecvMsgs_->add(out.size());
         stats_.histogram("batch.recv_size").record(out.size());
     }
     co_return out;
@@ -228,7 +233,7 @@ AccelQueue::sweepReady(std::uint64_t maxSlots)
     cRxBytes_->add(sweptBytes);
     cRxBursts_->add();
     if (skipped > 0)
-        stats_.counter("rx_skipped").add(skipped);
+        cRxSkipped_->add(skipped);
 }
 
 sim::Co<void>
@@ -342,8 +347,8 @@ AccelQueue::sendBatch(std::span<const GioTxItem> items)
         cTxMsgs_->add(n);
         cTxBytes_->add(segBytes);
     }
-    stats_.counter("batch.sends").add();
-    stats_.counter("batch.send_msgs").add(items.size());
+    cBatchSends_->add();
+    cBatchSendMsgs_->add(items.size());
     stats_.histogram("batch.send_size").record(items.size());
 }
 

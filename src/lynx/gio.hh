@@ -191,9 +191,14 @@ class AccelQueue
     sim::Counter *cRxMsgs_;
     sim::Counter *cRxBytes_;
     sim::Counter *cRxBursts_;
+    sim::Counter *cRxSkipped_;
     sim::Counter *cTxMsgs_;
     sim::Counter *cTxBytes_;
     sim::Counter *cTxStalls_;
+    sim::Counter *cBatchRecvs_;
+    sim::Counter *cBatchRecvMsgs_;
+    sim::Counter *cBatchSends_;
+    sim::Counter *cBatchSendMsgs_;
 };
 
 } // namespace lynx::core

@@ -160,7 +160,8 @@ struct MqueueLayout
 inline std::vector<std::uint8_t>
 encodeSlotWrite(std::span<const std::uint8_t> payload, SlotMeta meta)
 {
-    LYNX_ASSERT(payload.size() == meta.len, "metadata length mismatch");
+    LYNX_DEBUG_ASSERT(payload.size() == meta.len,
+                      "metadata length mismatch");
     std::vector<std::uint8_t> buf(payload.size() + SlotMeta::bytes);
     std::copy(payload.begin(), payload.end(), buf.begin());
     auto putU32 = [&](std::size_t off, std::uint32_t v) {
@@ -225,17 +226,17 @@ inline std::pair<std::uint64_t, std::vector<std::uint8_t>>
 encodeBatchSegment(const MqueueLayout &l, std::uint64_t firstSlot,
                    std::span<const SlotRecord> recs, SlotEndFn slotEndOf)
 {
-    LYNX_ASSERT(!recs.empty(), "empty batch segment");
-    LYNX_ASSERT(firstSlot % l.slots + recs.size() <= l.slots,
-                "batch segment wraps the ring");
+    LYNX_DEBUG_ASSERT(!recs.empty(), "empty batch segment");
+    LYNX_DEBUG_ASSERT(firstSlot % l.slots + recs.size() <= l.slots,
+                      "batch segment wraps the ring");
     std::uint64_t begin =
         slotWriteOffset(slotEndOf(firstSlot), recs[0].meta.len);
     std::uint64_t end = slotEndOf(firstSlot + recs.size() - 1);
     std::vector<std::uint8_t> buf(end - begin, 0);
     for (std::size_t j = 0; j < recs.size(); ++j) {
         const SlotRecord &r = recs[j];
-        LYNX_ASSERT(r.payload.size() == r.meta.len,
-                    "metadata length mismatch");
+        LYNX_DEBUG_ASSERT(r.payload.size() == r.meta.len,
+                          "metadata length mismatch");
         std::uint64_t slotEnd = slotEndOf(firstSlot + j);
         std::size_t at = static_cast<std::size_t>(
             slotWriteOffset(slotEnd, r.meta.len) - begin);

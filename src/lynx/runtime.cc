@@ -207,6 +207,9 @@ Runtime::backendLoop(ClientQueueRef ref, net::Endpoint &ep,
         }
     };
 
+    sim::Counter &timeouts = stats_.counter("backend_timeouts");
+    sim::Counter &responses = stats_.counter("backend_responses");
+
     for (;;) {
         // Wait until at least one backend request is in flight.
         while (!ref.mq->hasPending()) {
@@ -222,11 +225,11 @@ Runtime::backendLoop(ClientQueueRef ref, net::Endpoint &ep,
         auto msg = co_await workload::recvTimeout(sim_, ep, wait);
         if (!msg) {
             auto expired = ref.mq->popPending();
-            stats_.counter("backend_timeouts").add();
+            timeouts.add();
             co_await push({}, expired->tag, /*err=*/1);
             continue;
         }
-        stats_.counter("backend_responses").add();
+        responses.add();
         co_await core.exec(cfg_.backendStack.value_or(cfg_.stack)
                                .cost(proto, net::Dir::Recv,
                                      msg->size()));

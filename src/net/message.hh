@@ -16,6 +16,7 @@
 #include <ostream>
 #include <vector>
 
+#include "payload.hh"
 #include "sim/time.hh"
 
 namespace lynx::net {
@@ -45,13 +46,20 @@ operator<<(std::ostream &os, const Address &a)
     return os << "n" << a.node << ":" << a.port;
 }
 
-/** One application message in flight. */
+/**
+ * One application message in flight.
+ *
+ * Deliberately 64 bytes: payload bytes live in a pooled Payload
+ * (16-byte handle), so a Message moves by value through the event
+ * calendar and still fits — together with a destination pointer —
+ * inside the simulator's inline event storage (sim::EventFn). A
+ * routed message therefore costs zero heap allocations.
+ */
 struct Message
 {
     Address src;
     Address dst;
-    Protocol proto = Protocol::Udp;
-    std::vector<std::uint8_t> payload;
+    Payload payload;
 
     /** Stamped by the sending application; carried end-to-end so the
      *  receiver (or the echoed-back client) can compute latency. */
@@ -65,6 +73,8 @@ struct Message
      *  serialization timing. */
     std::uint64_t traceId = 0;
 
+    Protocol proto = Protocol::Udp;
+
     /** Set by fault injection when payload bytes were flipped in the
      *  fabric. The receiving NIC's checksum verification drops such
      *  frames (net::Nic::deliver), so corruption never propagates
@@ -74,6 +84,8 @@ struct Message
     /** @return payload size in bytes. */
     std::uint64_t size() const { return payload.size(); }
 };
+
+static_assert(sizeof(Message) == 64, "Message must stay event-inline");
 
 } // namespace lynx::net
 

@@ -52,7 +52,11 @@ class Network
 {
   public:
     explicit Network(sim::Simulator &sim, NetworkConfig cfg = {})
-        : sim_(sim), cfg_(cfg), lossRng_(cfg.lossSeed)
+        : sim_(sim), cfg_(cfg), lossRng_(cfg.lossSeed),
+          cRouted_(&stats_.counter("routed")),
+          cDroppedInFabric_(&stats_.counter("dropped_in_fabric")),
+          cDroppedByFault_(&stats_.counter("dropped_by_fault")),
+          cCorruptedInFabric_(&stats_.counter("corrupted_in_fabric"))
     {
         sim_.metrics().add("net.fabric", stats_);
     }
@@ -93,10 +97,10 @@ class Network
     void
     route(Message m)
     {
-        LYNX_ASSERT(m.dst.node < nics_.size(),
-                    "message to unknown node ", m.dst.node);
+        LYNX_DEBUG_ASSERT(m.dst.node < nics_.size(),
+                          "message to unknown node ", m.dst.node);
         if (cfg_.lossRate > 0.0 && lossRng_.chance(cfg_.lossRate)) {
-            stats_.counter("dropped_in_fabric").add();
+            cDroppedInFabric_->add();
             return;
         }
         Nic &dst = *nics_[m.dst.node];
@@ -105,19 +109,19 @@ class Network
         if (faults_ && faults_->enabled()) {
             auto v = faults_->judge(m.src.node, m.dst.node, sim_.now());
             if (v.drop) {
-                stats_.counter("dropped_by_fault").add();
+                cDroppedByFault_->add();
                 return;
             }
             if (v.corrupt) {
                 faults_->corruptInPlace(m.payload);
                 m.corrupted = true;
-                stats_.counter("corrupted_in_fabric").add();
+                cCorruptedInFabric_->add();
             }
             // A delayed frame lets later ones overtake it: the delay
             // fault doubles as the reordering fault.
             flight += v.delay;
         }
-        stats_.counter("routed").add();
+        cRouted_->add();
         sim_.scheduleIn(flight, [&dst, m = std::move(m)]() mutable {
             dst.deliver(std::move(m));
         });
@@ -143,6 +147,12 @@ class Network
     sim::Rng lossRng_;
     std::vector<std::unique_ptr<Nic>> nics_;
     sim::StatSet stats_;
+
+    /** Per-message counters, resolved once at construction. */
+    sim::Counter *cRouted_;
+    sim::Counter *cDroppedInFabric_;
+    sim::Counter *cDroppedByFault_;
+    sim::Counter *cCorruptedInFabric_;
 };
 
 } // namespace lynx::net

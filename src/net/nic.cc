@@ -8,7 +8,14 @@ namespace lynx::net {
 Nic::Nic(sim::Simulator &sim, Network &network, std::string name,
          std::uint32_t node, NicConfig cfg)
     : sim_(sim), network_(network), name_(std::move(name)), node_(node),
-      cfg_(cfg)
+      cfg_(cfg), cTxMsgs_(&stats_.counter("tx_msgs")),
+      cTxBytes_(&stats_.counter("tx_bytes")),
+      cRxMsgs_(&stats_.counter("rx_msgs")),
+      cRxBytes_(&stats_.counter("rx_bytes")),
+      cRxDropCorrupt_(&stats_.counter("rx_drop_corrupt")),
+      cRxNoEndpoint_(&stats_.counter("rx_no_endpoint")),
+      cRxDropUdp_(&stats_.counter("rx_drop_udp")),
+      cRxDropTcp_(&stats_.counter("rx_drop_tcp"))
 {
     sim_.metrics().add("net.nic." + name_, stats_);
 }
@@ -39,9 +46,10 @@ Nic::unbind(Protocol proto, std::uint16_t port)
 sim::Co<void>
 Nic::send(Message m)
 {
-    LYNX_ASSERT(m.src.node == node_, name_, ": spoofed source node");
-    stats_.counter("tx_msgs").add();
-    stats_.counter("tx_bytes").add(m.size());
+    LYNX_DEBUG_ASSERT(m.src.node == node_, name_,
+                      ": spoofed source node");
+    cTxMsgs_->add();
+    cTxBytes_->add(m.size());
 
     // Occupy the TX queue for the serialization time: a sender that
     // outpaces the link sees back-pressure.
@@ -65,20 +73,20 @@ Nic::send(Message m)
 void
 Nic::deliver(Message m)
 {
-    stats_.counter("rx_msgs").add();
-    stats_.counter("rx_bytes").add(m.size());
+    cRxMsgs_->add();
+    cRxBytes_->add(m.size());
 
     if (m.corrupted) {
         // Checksum verification (Ethernet CRC / UDP checksum): a
         // frame corrupted in the fabric is dropped here, so no
         // corrupt payload is ever delivered to an endpoint.
-        stats_.counter("rx_drop_corrupt").add();
+        cRxDropCorrupt_->add();
         return;
     }
 
     auto it = endpoints_.find(Key{m.proto, m.dst.port});
     if (it == endpoints_.end()) {
-        stats_.counter("rx_no_endpoint").add();
+        cRxNoEndpoint_->add();
         return;
     }
     Endpoint &ep = *it->second;
@@ -90,9 +98,7 @@ Nic::deliver(Message m)
         // counting separately (the load generators never overrun a
         // TCP endpoint in the reproduced experiments).
         ++ep.dropped_;
-        stats_.counter(ep.proto() == Protocol::Udp ? "rx_drop_udp"
-                                                   : "rx_drop_tcp")
-            .add();
+        (ep.proto() == Protocol::Udp ? cRxDropUdp_ : cRxDropTcp_)->add();
     }
 }
 

@@ -208,6 +208,17 @@ class Nic
     sim::Tick txBusyUntil_ = 0;
     std::map<Key, std::unique_ptr<Endpoint>> endpoints_;
     sim::StatSet stats_;
+
+    /** Per-message counters, resolved once at construction: the data
+     *  plane must not do string map lookups per packet. */
+    sim::Counter *cTxMsgs_;
+    sim::Counter *cTxBytes_;
+    sim::Counter *cRxMsgs_;
+    sim::Counter *cRxBytes_;
+    sim::Counter *cRxDropCorrupt_;
+    sim::Counter *cRxNoEndpoint_;
+    sim::Counter *cRxDropUdp_;
+    sim::Counter *cRxDropTcp_;
 };
 
 } // namespace lynx::net

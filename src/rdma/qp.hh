@@ -158,7 +158,16 @@ class QueuePair
      */
     QueuePair(sim::Simulator &sim, std::string name,
               pcie::DeviceMemory &target, RdmaPathModel path)
-        : sim_(sim), name_(std::move(name)), target_(target), path_(path)
+        : sim_(sim), name_(std::move(name)), target_(target), path_(path),
+          cWriteOps_(&stats_.counter("write_ops")),
+          cWriteBytes_(&stats_.counter("write_bytes")),
+          cReadOps_(&stats_.counter("read_ops")),
+          cReadBytes_(&stats_.counter("read_bytes")),
+          cBarrierOps_(&stats_.counter("barrier_ops")),
+          cPostedWriteLost_(&stats_.counter("posted_write_lost")),
+          cFetchErrors_(&stats_.counter("fetch_errors")),
+          cHwRetransmits_(&stats_.counter("hw_retransmits")),
+          cWcErrors_(&stats_.counter("wc_errors"))
     {
         sim_.metrics().add("rdma.qp." + name_, stats_);
     }
@@ -223,7 +232,7 @@ class QueuePair
         OpFate fate = judgeOp();
         if (fate.fail) {
             failTime(data.size(), fate); // occupy the channel anyway
-            stats_.counter("posted_write_lost").add();
+            cPostedWriteLost_->add();
             return;
         }
         scheduleDelivery(off, std::move(data), fate.extra);
@@ -253,8 +262,8 @@ class QueuePair
         // Response serializes at path rate and flies back.
         sim::Tick respTime =
             arriveAt + path_.serialization(out.size()) + path_.oneWay;
-        stats_.counter("read_ops").add();
-        stats_.counter("read_bytes").add(out.size());
+        cReadOps_->add();
+        cReadBytes_->add(out.size());
         co_await sim::sleep(respTime - sim_.now());
         std::copy(snapshot->begin(), snapshot->end(), out.begin());
         co_return WcStatus::Ok;
@@ -275,7 +284,7 @@ class QueuePair
         }
         sim::Tick arriveAt = nextOpTime(0, fate.extra);
         sim::Tick respTime = arriveAt + path_.oneWay;
-        stats_.counter("barrier_ops").add();
+        cBarrierOps_->add();
         co_await sim::sleep(respTime - sim_.now());
         co_return WcStatus::Ok;
     }
@@ -295,7 +304,7 @@ class QueuePair
         co_await sim::sleep(path_.nicLatency + path_.oneWay +
                             path_.serialization(bytes) + fate.extra);
         if (fate.fail) {
-            stats_.counter("fetch_errors").add();
+            cFetchErrors_->add();
             co_return WcStatus::Error;
         }
         co_return WcStatus::Ok;
@@ -333,10 +342,10 @@ class QueuePair
             // Lost, or corrupted and caught by the ICRC check:
             // the transport retransmits after a timeout.
             fate.extra += faults_.retransmitDelay;
-            stats_.counter("hw_retransmits").add();
+            cHwRetransmits_->add();
         }
         fate.fail = true;
-        stats_.counter("wc_errors").add();
+        cWcErrors_->add();
         return fate;
     }
 
@@ -379,8 +388,8 @@ class QueuePair
         sim_.schedule(deliverAt, [&target, off, d = std::move(data)] {
             target.write(off, d);
         });
-        stats_.counter("write_ops").add();
-        stats_.counter("write_bytes").add(n);
+        cWriteOps_->add();
+        cWriteBytes_->add(n);
         return deliverAt;
     }
 
@@ -391,6 +400,17 @@ class QueuePair
     QpFaultBinding faults_;
     sim::Tick busyUntil_ = 0;
     sim::StatSet stats_;
+
+    /** Per-op counters, resolved once at construction. */
+    sim::Counter *cWriteOps_;
+    sim::Counter *cWriteBytes_;
+    sim::Counter *cReadOps_;
+    sim::Counter *cReadBytes_;
+    sim::Counter *cBarrierOps_;
+    sim::Counter *cPostedWriteLost_;
+    sim::Counter *cFetchErrors_;
+    sim::Counter *cHwRetransmits_;
+    sim::Counter *cWcErrors_;
 };
 
 } // namespace lynx::rdma

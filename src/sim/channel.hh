@@ -13,11 +13,11 @@
 #define LYNX_SIM_CHANNEL_HH
 
 #include <cstddef>
-#include <deque>
 #include <limits>
 #include <optional>
 #include <utility>
 
+#include "ring.hh"
 #include "simulator.hh"
 #include "task.hh"
 
@@ -77,8 +77,7 @@ class Channel
     {
         if (items_.empty())
             return std::nullopt;
-        T v = std::move(items_.front());
-        items_.pop_front();
+        T v = items_.pop_front();
         admitPusher();
         return v;
     }
@@ -158,10 +157,9 @@ class Channel
     {
         if (poppers_.empty())
             return false;
-        Popper p = poppers_.front();
-        poppers_.pop_front();
+        Popper p = poppers_.pop_front();
         *p.slot = std::move(v);
-        sim_.scheduleIn(0, [h = p.h] { h.resume(); });
+        sim_.scheduleIn(Tick(0), p.h);
         return true;
     }
 
@@ -171,17 +169,16 @@ class Channel
     {
         if (pushers_.empty() || items_.size() >= capacity_)
             return;
-        Pusher p = pushers_.front();
-        pushers_.pop_front();
+        Pusher p = pushers_.pop_front();
         items_.push_back(std::move(**p.slot));
-        sim_.scheduleIn(0, [h = p.h] { h.resume(); });
+        sim_.scheduleIn(Tick(0), p.h);
     }
 
     Simulator &sim_;
     std::size_t capacity_;
-    std::deque<T> items_;
-    std::deque<Popper> poppers_;
-    std::deque<Pusher> pushers_;
+    RingDeque<T> items_;
+    RingDeque<Popper> poppers_;
+    RingDeque<Pusher> pushers_;
 };
 
 } // namespace lynx::sim

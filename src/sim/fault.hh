@@ -66,7 +66,12 @@ class FaultPlan
     /** Wildcard node id: a partition endpoint matching any node. */
     static constexpr std::uint32_t kAnyNode = 0xffffffffu;
 
-    explicit FaultPlan(FaultConfig cfg = {}) : cfg_(cfg), rng_(cfg.seed)
+    explicit FaultPlan(FaultConfig cfg = {})
+        : cfg_(cfg), rng_(cfg.seed),
+          cPartitionDrops_(&stats_.counter("partition_drops")),
+          cDrops_(&stats_.counter("drops")),
+          cCorruptions_(&stats_.counter("corruptions")),
+          cDelays_(&stats_.counter("delays"))
     {}
 
     FaultPlan(const FaultPlan &) = delete;
@@ -146,23 +151,23 @@ class FaultPlan
         Verdict v;
         if (partitioned(src, dst, now)) {
             v.drop = true;
-            stats_.counter("partition_drops").add();
+            cPartitionDrops_->add();
             return v;
         }
         if (cfg_.dropRate > 0.0 && rng_.chance(cfg_.dropRate)) {
             v.drop = true;
-            stats_.counter("drops").add();
+            cDrops_->add();
             return v;
         }
         if (cfg_.corruptRate > 0.0 && rng_.chance(cfg_.corruptRate)) {
             v.corrupt = true;
-            stats_.counter("corruptions").add();
+            cCorruptions_->add();
         }
         if (cfg_.delayRate > 0.0 && rng_.chance(cfg_.delayRate)) {
             v.delay = static_cast<Tick>(rng_.between(
                 static_cast<std::uint64_t>(cfg_.delayMin),
                 static_cast<std::uint64_t>(cfg_.delayMax)));
-            stats_.counter("delays").add();
+            cDelays_->add();
         }
         return v;
     }
@@ -204,6 +209,13 @@ class FaultPlan
     Rng rng_;
     std::vector<Partition> partitions_;
     StatSet stats_;
+
+    /** Per-judged-transfer counters, resolved once at
+     *  construction (declared after stats_). */
+    Counter *cPartitionDrops_;
+    Counter *cDrops_;
+    Counter *cCorruptions_;
+    Counter *cDelays_;
 };
 
 } // namespace lynx::sim

@@ -80,6 +80,29 @@ warn(Args &&...args)
         }                                                                     \
     } while (0)
 
+/**
+ * Hot-path assertion: active in debug builds and in the sanitizer
+ * lane (-DLYNX_SANITIZE=ON defines LYNX_ENABLE_DEBUG_ASSERTS), and
+ * compiles to nothing in release builds so per-event invariants cost
+ * zero on the schedule/run/deliver fast paths. Use LYNX_ASSERT for
+ * cold-path invariants that should always be checked.
+ */
+#if !defined(NDEBUG) || defined(LYNX_ENABLE_DEBUG_ASSERTS)
+#define LYNX_DEBUG_ASSERTS_ENABLED 1
+#define LYNX_DEBUG_ASSERT(cond, ...) LYNX_ASSERT(cond, ##__VA_ARGS__)
+#else
+#define LYNX_DEBUG_ASSERTS_ENABLED 0
+// The statically-dead branch keeps the condition and message
+// type-checked (and their operands "used") in every lane; the
+// optimizer deletes it, so release codegen is still empty.
+#define LYNX_DEBUG_ASSERT(cond, ...)                                          \
+    do {                                                                      \
+        if (false) {                                                          \
+            LYNX_ASSERT(cond, ##__VA_ARGS__);                                 \
+        }                                                                     \
+    } while (0)
+#endif
+
 /** Exit with a configuration error when @p cond holds. */
 #define LYNX_FATAL_IF(cond, ...)                                              \
     do {                                                                      \

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * RingDeque<T>: a power-of-two ring buffer with deque semantics.
+ *
+ * std::deque allocates and frees fixed-size node blocks as its ends
+ * move, which shows up as steady-state heap traffic in channel and
+ * waiter queues. RingDeque keeps one contiguous power-of-two buffer,
+ * doubles it on overflow, and thereafter push/pop are index
+ * arithmetic — zero allocations once warm. Supports push at both
+ * ends' worth of use here: push_back / pop_front (FIFO) plus indexed
+ * iteration for "wake everyone" loops.
+ */
+
+#ifndef LYNX_SIM_RING_HH
+#define LYNX_SIM_RING_HH
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <utility>
+
+namespace lynx::sim {
+
+/** FIFO ring buffer; grows by doubling, never shrinks. */
+template <typename T>
+class RingDeque
+{
+  public:
+    RingDeque() = default;
+
+    RingDeque(const RingDeque &) = delete;
+    RingDeque &operator=(const RingDeque &) = delete;
+
+    RingDeque(RingDeque &&o) noexcept
+        : buf_(std::exchange(o.buf_, nullptr)), cap_(std::exchange(o.cap_, 0)),
+          head_(std::exchange(o.head_, 0)), size_(std::exchange(o.size_, 0))
+    {}
+
+    RingDeque &
+    operator=(RingDeque &&o) noexcept
+    {
+        if (this != &o) {
+            destroyAll();
+            buf_ = std::exchange(o.buf_, nullptr);
+            cap_ = std::exchange(o.cap_, 0);
+            head_ = std::exchange(o.head_, 0);
+            size_ = std::exchange(o.size_, 0);
+        }
+        return *this;
+    }
+
+    ~RingDeque() { destroyAll(); }
+
+    std::size_t size() const noexcept { return size_; }
+    bool empty() const noexcept { return size_ == 0; }
+
+    /** @return element @p i positions behind the front. */
+    T &operator[](std::size_t i) { return *slot(head_ + i); }
+    const T &operator[](std::size_t i) const { return *slot(head_ + i); }
+
+    T &front() { return *slot(head_); }
+
+    void
+    push_back(T v)
+    {
+        if (size_ == cap_)
+            grow();
+        ::new (static_cast<void *>(slot(head_ + size_))) T(std::move(v));
+        ++size_;
+    }
+
+    template <typename... Args>
+    void
+    emplace_back(Args &&...args)
+    {
+        if (size_ == cap_)
+            grow();
+        ::new (static_cast<void *>(slot(head_ + size_)))
+            T(std::forward<Args>(args)...);
+        ++size_;
+    }
+
+    /** Remove and return the front element. @pre !empty(). */
+    T
+    pop_front()
+    {
+        T *p = slot(head_);
+        T v = std::move(*p);
+        p->~T();
+        head_ = (head_ + 1) & (cap_ - 1);
+        --size_;
+        return v;
+    }
+
+    /** Destroy all elements; keeps the buffer. */
+    void
+    clear() noexcept
+    {
+        while (size_)
+            slot(head_ + --size_)->~T();
+        head_ = 0;
+    }
+
+  private:
+    T *
+    slot(std::size_t logical) const noexcept
+    {
+        return buf_ + (logical & (cap_ - 1));
+    }
+
+    void
+    grow()
+    {
+        const std::size_t newCap = cap_ ? cap_ * 2 : 8;
+        T *nbuf = static_cast<T *>(
+            ::operator new(newCap * sizeof(T), std::align_val_t(alignof(T))));
+        for (std::size_t i = 0; i < size_; ++i) {
+            T *src = slot(head_ + i);
+            ::new (static_cast<void *>(nbuf + i)) T(std::move(*src));
+            src->~T();
+        }
+        if (buf_)
+            ::operator delete(buf_, std::align_val_t(alignof(T)));
+        buf_ = nbuf;
+        cap_ = newCap;
+        head_ = 0;
+    }
+
+    void
+    destroyAll() noexcept
+    {
+        clear();
+        if (buf_) {
+            ::operator delete(buf_, std::align_val_t(alignof(T)));
+            buf_ = nullptr;
+            cap_ = 0;
+        }
+    }
+
+    T *buf_ = nullptr;
+    std::size_t cap_ = 0;  ///< always a power of two (or zero)
+    std::size_t head_ = 0; ///< physical index of the front element
+    std::size_t size_ = 0;
+};
+
+} // namespace lynx::sim
+
+#endif // LYNX_SIM_RING_HH

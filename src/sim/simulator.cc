@@ -1,6 +1,7 @@
 #include "simulator.hh"
 
 #include <algorithm>
+#include <bit>
 
 namespace lynx::sim {
 
@@ -11,71 +12,205 @@ Simulator::~Simulator()
     // a channel). Destruction order matters: no coroutine may be
     // resumed past this point, only destroyed.
     tearingDown_ = true;
-    while (!calendar_.empty())
-        calendar_.pop();
+    exec_.clear();
+    ready_.clear();
+    for (auto &level : wheel_)
+        for (auto &bucket : level)
+            bucket.clear();
+    overflow_.clear();
     // Destroying one coroutine can unregister others (a coroutine's
     // locals may own Tasks), so iterate defensively.
     while (!liveCoroutines_.empty()) {
-        auto h = liveCoroutines_.back();
+        auto h = liveCoroutines_.back().h;
         liveCoroutines_.pop_back();
         h.destroy();
     }
 }
 
-bool
-Simulator::step()
+void
+Simulator::pushOverflow(PendingEvent ev)
 {
-    if (calendar_.empty())
-        return false;
-    // Move the event out before popping so that handlers may schedule
-    // new events (which mutates the calendar).
-    auto &top = calendar_.top();
-    Tick when = top.when;
-    auto fn = std::move(const_cast<PendingEvent &>(top).fn);
-    calendar_.pop();
-    LYNX_ASSERT(when >= now_, "calendar went backwards");
-    now_ = when;
-    ++eventsExecuted_;
-    fn();
-    return true;
+    auto later = [](const PendingEvent &a, const PendingEvent &b) {
+        return a.when != b.when ? a.when > b.when : a.seq > b.seq;
+    };
+    overflow_.push_back(std::move(ev));
+    std::push_heap(overflow_.begin(), overflow_.end(), later);
+}
+
+/**
+ * Move the calendar forward to the next pending timestamp <= deadline
+ * and load that timestamp's events into exec_ (sorted by scheduling
+ * seq). @return false when no such event exists; the clock may still
+ * have moved forward (to a bucket block start), but never past the
+ * earliest pending event or the deadline.
+ */
+bool
+Simulator::advance(Tick deadline)
+{
+    LYNX_DEBUG_ASSERT(ready_.empty() && execPos_ >= exec_.size(),
+                      "advance() with undrained events");
+    for (;;) {
+        // Express lane for sparse calendars (a lone timer, an idle
+        // link): with exactly one event in the wheel, jump straight
+        // to it instead of cascading it down level by level. All
+        // overflow events are later than any wheel event (they are
+        // outside now()'s top-level block), so this is order-exact.
+        const std::size_t inWheel = pendingCount_ - overflow_.size();
+        if (inWheel == 1) {
+            for (int level = 0; level < kLevels; ++level) {
+                if (!occupied_[level])
+                    continue;
+                const std::size_t idx = static_cast<std::size_t>(
+                    std::countr_zero(occupied_[level]));
+                Bucket &b = wheel_[level][idx];
+                if (b.front().when > deadline)
+                    return false;
+                now_ = b.front().when;
+                exec_.push_back(std::move(b.front()));
+                b.clear();
+                execPos_ = 0;
+                occupied_[level] = 0;
+                return true;
+            }
+        }
+        // Level 0: an event within the current 64-tick block. Each L0
+        // bucket holds exactly one timestamp.
+        const std::size_t cur0 = now_ & (kBuckets - 1);
+        const std::uint64_t m0 =
+            occupied_[0] & (~std::uint64_t(0) << cur0);
+        if (m0) {
+            const std::size_t idx =
+                static_cast<std::size_t>(std::countr_zero(m0));
+            const Tick t = (now_ & ~Tick(kBuckets - 1)) | idx;
+            if (t > deadline)
+                return false;
+            now_ = t;
+            collectBucket(idx);
+            return true;
+        }
+        // Higher levels: cascade the next occupied bucket down. The
+        // scan is inclusive of the current index — a bucket at the
+        // current index can only be non-empty right after a parent
+        // cascade, and then holds events >= now().
+        bool cascaded = false;
+        for (int level = 1; level < kLevels; ++level) {
+            const int shift = kLevelBits * level;
+            const std::size_t cur = (now_ >> shift) & (kBuckets - 1);
+            const std::uint64_t m =
+                occupied_[level] & (~std::uint64_t(0) << cur);
+            if (!m)
+                continue;
+            const std::size_t idx =
+                static_cast<std::size_t>(std::countr_zero(m));
+            const Tick blockMask =
+                (Tick(1) << (shift + kLevelBits)) - 1;
+            const Tick base = (now_ & ~blockMask) | (Tick(idx) << shift);
+            if (base > deadline)
+                return false;
+            LYNX_DEBUG_ASSERT(base >= now_, "wheel cascade went backwards");
+            now_ = base;
+            cascade(level, idx);
+            cascaded = true;
+            break;
+        }
+        if (cascaded)
+            continue;
+        // Overflow: jump to the start of the earliest far-future
+        // event's top-level block and cascade that block in.
+        if (!overflow_.empty()) {
+            const Tick w = overflow_.front().when;
+            if (w > deadline)
+                return false;
+            const Tick blockMask = (Tick(1) << kTopBits) - 1;
+            now_ = std::max(now_, w & ~blockMask);
+            drainOverflow();
+            continue;
+        }
+        return false; // calendar is empty
+    }
+}
+
+void
+Simulator::collectBucket(std::size_t idx)
+{
+    Bucket &b = wheel_[0][idx];
+    exec_.swap(b);
+    execPos_ = 0;
+    occupied_[0] &= ~(std::uint64_t(1) << idx);
+    // Direct placement appends in seq order; a cascade arriving later
+    // can interleave, so restore FIFO order when (rarely) needed.
+    const auto seqLess = [](const PendingEvent &a, const PendingEvent &b) {
+        return a.seq < b.seq;
+    };
+    if (!std::is_sorted(exec_.begin(), exec_.end(), seqLess))
+        std::sort(exec_.begin(), exec_.end(), seqLess);
+#if LYNX_DEBUG_ASSERTS_ENABLED
+    for (const PendingEvent &e : exec_)
+        LYNX_ASSERT(e.when == now_, "L0 bucket holds a foreign timestamp");
+#endif
+}
+
+void
+Simulator::cascade(int level, std::size_t idx)
+{
+    cascadeBuf_.swap(wheel_[level][idx]);
+    occupied_[level] &= ~(std::uint64_t(1) << idx);
+    for (PendingEvent &ev : cascadeBuf_)
+        place(std::move(ev));
+    cascadeBuf_.clear();
+}
+
+void
+Simulator::drainOverflow()
+{
+    const auto later = [](const PendingEvent &a, const PendingEvent &b) {
+        return a.when != b.when ? a.when > b.when : a.seq > b.seq;
+    };
+    while (!overflow_.empty() &&
+           (overflow_.front().when >> kTopBits) == (now_ >> kTopBits)) {
+        std::pop_heap(overflow_.begin(), overflow_.end(), later);
+        PendingEvent ev = std::move(overflow_.back());
+        overflow_.pop_back();
+        place(std::move(ev));
+    }
+}
+
+void
+Simulator::runLoop(Tick deadline)
+{
+    while (!stopped_) {
+        if (execPos_ < exec_.size()) {
+            fire(exec_[execPos_++]);
+            continue;
+        }
+        if (!exec_.empty()) {
+            exec_.clear(); // keeps capacity for the next bucket swap
+            execPos_ = 0;
+        }
+        if (!ready_.empty()) {
+            PendingEvent e = ready_.pop_front();
+            fire(e);
+            continue;
+        }
+        if (!advance(deadline))
+            return;
+    }
 }
 
 Tick
 Simulator::run()
 {
-    while (!stopped_ && step()) {
-    }
+    runLoop(maxTick);
     return now_;
 }
 
 Tick
 Simulator::runUntil(Tick deadline)
 {
-    while (!stopped_ && !calendar_.empty() &&
-           calendar_.top().when <= deadline) {
-        step();
-    }
+    runLoop(deadline);
     if (!stopped_ && now_ < deadline)
         now_ = deadline;
     return now_;
-}
-
-void
-Simulator::registerCoroutine(std::coroutine_handle<> h)
-{
-    liveCoroutines_.push_back(h);
-}
-
-void
-Simulator::unregisterCoroutine(std::coroutine_handle<> h)
-{
-    if (tearingDown_)
-        return;
-    auto it = std::find(liveCoroutines_.begin(), liveCoroutines_.end(), h);
-    if (it != liveCoroutines_.end()) {
-        *it = liveCoroutines_.back();
-        liveCoroutines_.pop_back();
-    }
 }
 
 } // namespace lynx::sim

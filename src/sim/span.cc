@@ -37,31 +37,132 @@ SpanCollector::~SpanCollector()
         sim_.setSpanCollector(nullptr);
 }
 
+RequestSpan *
+SpanCollector::findLive(std::uint64_t id)
+{
+    if (id == 0 || live_.empty())
+        return nullptr;
+    RequestSpan &slot = live_[id & (live_.size() - 1)];
+    return slot.id == id ? &slot : nullptr;
+}
+
+void
+SpanCollector::growLive()
+{
+    // Two open spans always differ in their low log2(capacity) bits
+    // (they occupied distinct slots), so re-placing into the doubled
+    // ring cannot collide.
+    std::vector<RequestSpan, PoolAllocator<RequestSpan>> bigger(
+        live_.size() * 2);
+    for (RequestSpan &s : live_)
+        if (s.id != 0)
+            bigger[s.id & (bigger.size() - 1)] = s;
+    live_ = std::move(bigger);
+}
+
 std::uint64_t
 SpanCollector::begin(Tick now)
 {
-    // Bound memory if requests never come back (drops, dead queues):
-    // forget the oldest still-open span.
-    if (live_.size() >= kLiveLimit)
-        live_.erase(live_.begin());
+    if (live_.empty())
+        live_.resize(kLiveInitial);
     const std::uint64_t id = nextId_++;
-    RequestSpan &span = live_[id];
-    span.id = id;
-    span.stamp[static_cast<std::size_t>(Stage::ClientTx)] = now;
-    return span.id;
+    RequestSpan *slot = &live_[id & (live_.size() - 1)];
+    while (slot->id != 0 && live_.size() < kLiveLimit) {
+        growLive();
+        slot = &live_[id & (live_.size() - 1)];
+    }
+    // Still occupied at the cap: the occupant is kLiveLimit ids older
+    // and never came back (drops, dead queues) — forget it, bounding
+    // memory exactly like the old map's drop-the-oldest policy.
+    *slot = RequestSpan{};
+    slot->id = id;
+    slot->stamp[static_cast<std::size_t>(Stage::ClientTx)] = now;
+    return id;
 }
 
 void
 SpanCollector::stamp(std::uint64_t id, Stage stage, Tick now)
 {
-    if (id == 0)
+    RequestSpan *span = findLive(id);
+    if (!span)
         return;
-    auto it = live_.find(id);
-    if (it == live_.end())
-        return;
-    Tick &slot = it->second.stamp[static_cast<std::size_t>(stage)];
+    Tick &slot = span->stamp[static_cast<std::size_t>(stage)];
     if (slot == maxTick)
         slot = now;
+}
+
+std::size_t
+SpanCollector::tagHash(const void *mem, std::uint64_t base, std::uint32_t tag)
+{
+    std::uint64_t h = reinterpret_cast<std::uintptr_t>(mem);
+    h ^= base + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    h ^= tag + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    // splitmix64 finalizer: full avalanche so linear probing sees
+    // uniform home slots even for pointer-aligned keys.
+    h ^= h >> 30;
+    h *= 0xbf58476d1ce4e5b9ull;
+    h ^= h >> 27;
+    h *= 0x94d049bb133111ebull;
+    h ^= h >> 31;
+    return static_cast<std::size_t>(h);
+}
+
+std::size_t
+SpanCollector::findTag(const void *mem, std::uint64_t base,
+                       std::uint32_t tag) const
+{
+    if (tags_.empty())
+        return 0;
+    const std::size_t mask = tags_.size() - 1;
+    for (std::size_t i = tagHash(mem, base, tag) & mask;;
+         i = (i + 1) & mask) {
+        const TagEntry &e = tags_[i];
+        if (e.mem == nullptr)
+            return tags_.size();
+        if (e.mem == mem && e.base == base && e.tag == tag)
+            return i;
+    }
+}
+
+void
+SpanCollector::eraseTag(std::size_t i)
+{
+    // Backward-shift deletion: pull every displaced follower of the
+    // probe chain into the hole so lookups never need tombstones.
+    const std::size_t mask = tags_.size() - 1;
+    std::size_t j = i;
+    for (;;) {
+        tags_[i] = TagEntry{};
+        for (;;) {
+            j = (j + 1) & mask;
+            if (tags_[j].mem == nullptr)
+                return;
+            std::size_t home =
+                tagHash(tags_[j].mem, tags_[j].base, tags_[j].tag) & mask;
+            // Movable into the hole iff the hole lies on the entry's
+            // probe path: probe distance to j >= distance from i to j.
+            if (((j - home) & mask) >= ((j - i) & mask))
+                break;
+        }
+        tags_[i] = tags_[j];
+        i = j;
+    }
+}
+
+void
+SpanCollector::growTags()
+{
+    std::vector<TagEntry, PoolAllocator<TagEntry>> old = std::move(tags_);
+    tags_.assign(old.empty() ? kTagInitial : old.size() * 2, TagEntry{});
+    const std::size_t mask = tags_.size() - 1;
+    for (const TagEntry &e : old) {
+        if (e.mem == nullptr)
+            continue;
+        std::size_t i = tagHash(e.mem, e.base, e.tag) & mask;
+        while (tags_[i].mem != nullptr)
+            i = (i + 1) & mask;
+        tags_[i] = e;
+    }
 }
 
 void
@@ -70,35 +171,50 @@ SpanCollector::bindTag(const void *mem, std::uint64_t base, std::uint32_t tag,
 {
     if (id == 0)
         return;
-    tagBindings_[TagKey{mem, base, tag}] = id;
+    if (tags_.empty() || tagCount_ * 4 >= tags_.size() * 3)
+        growTags();
+    const std::size_t mask = tags_.size() - 1;
+    std::size_t i = tagHash(mem, base, tag) & mask;
+    while (tags_[i].mem != nullptr) {
+        if (tags_[i].mem == mem && tags_[i].base == base &&
+            tags_[i].tag == tag) {
+            tags_[i].id = id; // rebinding an in-use tag: latest wins
+            return;
+        }
+        i = (i + 1) & mask;
+    }
+    tags_[i] = TagEntry{mem, base, tag, id};
+    ++tagCount_;
 }
 
 void
 SpanCollector::stampTag(const void *mem, std::uint64_t base, std::uint32_t tag,
                         Stage stage, Tick now)
 {
-    auto it = tagBindings_.find(TagKey{mem, base, tag});
-    if (it != tagBindings_.end())
-        stamp(it->second, stage, now);
+    std::size_t i = findTag(mem, base, tag);
+    if (i < tags_.size())
+        stamp(tags_[i].id, stage, now);
 }
 
 void
 SpanCollector::unbindTag(const void *mem, std::uint64_t base,
                          std::uint32_t tag)
 {
-    tagBindings_.erase(TagKey{mem, base, tag});
+    std::size_t i = findTag(mem, base, tag);
+    if (i < tags_.size()) {
+        eraseTag(i);
+        --tagCount_;
+    }
 }
 
 void
 SpanCollector::finish(std::uint64_t id, Tick now)
 {
-    if (id == 0)
+    RequestSpan *slot = findLive(id);
+    if (!slot)
         return;
-    auto it = live_.find(id);
-    if (it == live_.end())
-        return;
-    RequestSpan span = it->second;
-    live_.erase(it);
+    RequestSpan span = *slot;
+    slot->id = 0; // free the ring slot
     span.stamp[static_cast<std::size_t>(Stage::ClientRx)] = now;
 
     // Fold: each stamped stage records its delta to the previous

@@ -30,11 +30,11 @@
 #include <array>
 #include <cstdint>
 #include <iosfwd>
-#include <map>
 #include <string>
 #include <vector>
 
 #include "histogram.hh"
+#include "pool.hh"
 #include "time.hh"
 
 namespace lynx::sim {
@@ -148,33 +148,63 @@ class SpanCollector
     /** @} */
 
   private:
-    struct TagKey
+    /** One (ring identity, tag) -> trace id binding in the
+     *  open-addressed table; mem == nullptr marks a free slot. */
+    struct TagEntry
     {
-        const void *mem;
-        std::uint64_t base;
-        std::uint32_t tag;
-
-        bool
-        operator<(const TagKey &o) const
-        {
-            if (mem != o.mem)
-                return mem < o.mem;
-            if (base != o.base)
-                return base < o.base;
-            return tag < o.tag;
-        }
+        const void *mem = nullptr;
+        std::uint64_t base = 0;
+        std::uint32_t tag = 0;
+        std::uint64_t id = 0;
     };
 
     /** Bound on spans begun but never finished (drops, timeouts). */
     static constexpr std::size_t kLiveLimit = 1 << 16;
+
+    /** Initial live-slot ring capacity (doubles up to kLiveLimit). */
+    static constexpr std::size_t kLiveInitial = 1 << 10;
+
+    /** Initial tag-table capacity (doubles at 3/4 load). */
+    static constexpr std::size_t kTagInitial = 64;
+
+    /** @return the slot of live span @p id, or nullptr if it was
+     *  never begun, already finished, or evicted. */
+    RequestSpan *findLive(std::uint64_t id);
+
+    /** Double the live ring and re-place open spans by id. */
+    void growLive();
+
+    static std::size_t tagHash(const void *mem, std::uint64_t base,
+                               std::uint32_t tag);
+
+    /** @return index of the tag entry, or the table size if absent. */
+    std::size_t findTag(const void *mem, std::uint64_t base,
+                        std::uint32_t tag) const;
+
+    /** Backward-shift deletion of tag slot @p i (no tombstones). */
+    void eraseTag(std::size_t i);
+
+    void growTags();
 
     Simulator &sim_;
     std::uint64_t nextId_ = 1;
     std::uint64_t finished_ = 0;
     std::uint64_t dropped_ = 0;
     std::size_t retainLimit_ = 100000;
-    std::map<std::uint64_t, RequestSpan> live_;
-    std::map<TagKey, std::uint64_t> tagBindings_;
+
+    /** Open spans, slotted by (id & capacity-1). Ids are sequential,
+     *  so the ring is collision-free until more than capacity spans
+     *  are open at once; it doubles up to kLiveLimit, after which a
+     *  colliding begin() evicts the kLiveLimit-older span — the same
+     *  memory bound the previous std::map kept by dropping its oldest
+     *  entry, without a tree node allocation per request. id == 0
+     *  marks a free slot. */
+    std::vector<RequestSpan, PoolAllocator<RequestSpan>> live_;
+
+    /** (ring identity, tag) -> id, linear-probed; sized power of 2. */
+    std::vector<TagEntry, PoolAllocator<TagEntry>> tags_;
+    std::size_t tagCount_ = 0;
+
     std::vector<RequestSpan> done_;
     std::array<Histogram, kNumStages> stageHist_;
     Histogram totalHist_;

@@ -8,8 +8,8 @@
 #define LYNX_SIM_SYNC_HH
 
 #include <cstddef>
-#include <deque>
 
+#include "ring.hh"
 #include "simulator.hh"
 #include "task.hh"
 
@@ -78,10 +78,8 @@ class Semaphore
     release()
     {
         if (!waiters_.empty()) {
-            auto h = waiters_.front();
-            waiters_.pop_front();
             // Permit is handed directly to the waiter; count stays 0.
-            sim_.scheduleIn(0, [h] { h.resume(); });
+            sim_.scheduleIn(Tick(0), waiters_.pop_front());
             return;
         }
         ++count_;
@@ -90,7 +88,7 @@ class Semaphore
   private:
     Simulator &sim_;
     std::size_t count_;
-    std::deque<std::coroutine_handle<>> waiters_;
+    RingDeque<std::coroutine_handle<>> waiters_;
 };
 
 /**
@@ -115,9 +113,8 @@ class Latch
         LYNX_ASSERT(count_ >= n, "latch counted below zero");
         count_ -= n;
         if (count_ == 0) {
-            for (auto h : waiters_)
-                sim_.scheduleIn(0, [h] { h.resume(); });
-            waiters_.clear();
+            while (!waiters_.empty())
+                sim_.scheduleIn(Tick(0), waiters_.pop_front());
         }
     }
 
@@ -139,7 +136,7 @@ class Latch
   private:
     Simulator &sim_;
     std::size_t count_;
-    std::deque<std::coroutine_handle<>> waiters_;
+    RingDeque<std::coroutine_handle<>> waiters_;
 };
 
 /**
@@ -167,9 +164,8 @@ class Gate
         if (open_)
             return;
         open_ = true;
-        for (auto h : waiters_)
-            sim_.scheduleIn(0, [h] { h.resume(); });
-        waiters_.clear();
+        while (!waiters_.empty())
+            sim_.scheduleIn(Tick(0), waiters_.pop_front());
     }
 
     /** Close the gate; subsequent waits suspend again. */
@@ -193,7 +189,7 @@ class Gate
   private:
     Simulator &sim_;
     bool open_;
-    std::deque<std::coroutine_handle<>> waiters_;
+    RingDeque<std::coroutine_handle<>> waiters_;
 };
 
 } // namespace lynx::sim

@@ -19,10 +19,12 @@
 #define LYNX_SIM_TASK_HH
 
 #include <coroutine>
+#include <cstddef>
 #include <memory>
 #include <utility>
 
 #include "logging.hh"
+#include "pool.hh"
 #include "simulator.hh"
 #include "time.hh"
 
@@ -31,10 +33,37 @@ namespace lynx::sim {
 /**
  * Base class for all simulator coroutine promises (Task and Co<T>).
  * Awaitables reach the owning simulator through it.
+ *
+ * Frames allocate through the slab Pool (promise-scoped operator
+ * new/delete apply to the whole coroutine frame), so steady-state
+ * coroutine churn — e.g. a Co<> per request — recycles instead of
+ * hitting the heap.
  */
 struct PromiseBase
 {
     Simulator *sim = nullptr;
+
+    /** Registry index; maintained by the simulator (see
+     *  Simulator::registerCoroutine). Only spawned Tasks register. */
+    std::size_t regIdx = 0;
+
+    static void *
+    operator new(std::size_t n)
+    {
+        return Pool::instance().allocate(n);
+    }
+
+    static void
+    operator delete(void *p) noexcept
+    {
+        Pool::instance().deallocate(p);
+    }
+
+    static void
+    operator delete(void *p, std::size_t) noexcept
+    {
+        Pool::instance().deallocate(p);
+    }
 };
 
 /** Constrains awaitables to coroutines whose promise knows its sim. */
@@ -62,7 +91,7 @@ class Task
         ~promise_type()
         {
             if (sim)
-                sim->unregisterCoroutine(Handle::from_promise(*this));
+                sim->unregisterCoroutine(regIdx);
         }
 
         Task get_return_object() { return Task(Handle::from_promise(*this)); }
@@ -142,7 +171,7 @@ class Task
         LYNX_ASSERT(handle_ && !started_, "task already started or empty");
         started_ = true;
         handle_.promise().sim = &sim;
-        sim.registerCoroutine(handle_);
+        sim.registerCoroutine(handle_, handle_.promise().regIdx);
         auto h = std::exchange(handle_, nullptr);
         h.resume();
     }
@@ -199,9 +228,9 @@ struct SleepAwaiter
     void
     await_suspend(std::coroutine_handle<P> h) const
     {
-        Simulator *sim = h.promise().sim;
-        std::coroutine_handle<> eh = h;
-        sim->scheduleIn(delay, [eh] { eh.resume(); });
+        // Coroutine fast path: the handle goes straight into the
+        // calendar, no lambda wrapper and no allocation.
+        h.promise().sim->scheduleIn(delay, h);
     }
 
     void await_resume() const noexcept {}

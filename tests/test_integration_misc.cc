@@ -100,7 +100,7 @@ TEST(Composition, TwoStagePipelineThroughTheSnic)
         m.payload = {1, 2, 3, 100};
         co_await r.clientNic.send(std::move(m));
         net::Message resp = co_await ep.recv();
-        got = resp.payload;
+        got = resp.payload.toVector();
     };
     sim::spawn(r.s, client());
     r.s.run();

@@ -141,7 +141,7 @@ TEST(LynxRuntime, ManyRequestsManyQueuesRoundRobin)
             co_await d.clientNic.send(std::move(m));
             // Closed loop: wait for the echo before the next send.
             net::Message r = co_await cliEp.recv();
-            responses[r.seq] = r.payload;
+            responses[r.seq] = r.payload.toVector();
         }
     };
     sim::spawn(d.s, client());

@@ -331,7 +331,7 @@ TEST(VectorScaleService, MultipliesVectors)
         m.payload = {5, 0, 0, 0, 2, 1, 0, 0}; // [5, 258]
         co_await clientNic.send(std::move(m));
         net::Message r = co_await cliEp.recv();
-        got = r.payload;
+        got = r.payload.toVector();
     };
     sim::spawn(s, client());
     s.run();

@@ -1,0 +1,293 @@
+/**
+ * @file
+ * Property tests for the timing-wheel calendar.
+ *
+ * The reference model is the engine's documented contract itself: all
+ * events fire in globally ascending (when, scheduling-seq) order. A
+ * randomized scheduler front-end drives the wheel through every
+ * placement path — level-0 direct hits, multi-level cascades, the
+ * far-future overflow heap, the zero-delay ready ring, and events
+ * scheduled from inside running events — and checks the observed
+ * execution order against a sorted reference trace.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "sim/random.hh"
+#include "sim/simulator.hh"
+#include "sim/task.hh"
+#include "sim/time.hh"
+
+using namespace lynx;
+using namespace lynx::sim::literals;
+using lynx::sim::Simulator;
+using lynx::sim::Tick;
+
+namespace {
+
+/** One scheduled event: (when, seq) must be the execution order. */
+struct Obs
+{
+    Tick when;
+    std::uint64_t id;
+
+    bool
+    operator<(const Obs &o) const
+    {
+        return when != o.when ? when < o.when : id < o.id;
+    }
+
+    bool operator==(const Obs &o) const = default;
+};
+
+/** Schedule @p count events at random offsets drawn from @p maxDelta,
+ *  some rescheduling children from inside their handler, and check
+ *  the global firing order. */
+void
+randomOrderCheck(std::uint64_t seed, int count, Tick maxDelta,
+                 int childrenEvery)
+{
+    Simulator s;
+    sim::Rng rng(seed);
+    std::vector<Obs> fired;
+    std::vector<Obs> expected;
+    std::uint64_t nextId = 0;
+
+    // Recursive scheduling: handlers spawn children at future (or
+    // equal: delta may be 0) times, exercising in-event placement.
+    struct Ctx
+    {
+        Simulator &s;
+        sim::Rng &rng;
+        std::vector<Obs> &fired;
+        std::vector<Obs> &expected;
+        std::uint64_t &nextId;
+        Tick maxDelta;
+        int childrenEvery;
+    } ctx{s, rng, fired, expected, nextId, maxDelta, childrenEvery};
+
+    struct Spawner
+    {
+        static void
+        add(Ctx &c, Tick when, int depth)
+        {
+            const std::uint64_t id = c.nextId++;
+            c.expected.push_back({when, id});
+            c.s.schedule(when, [&c, id, depth] {
+                c.fired.push_back({c.s.now(), id});
+                if (depth > 0 && id % 2 == 0) {
+                    const Tick delta = c.rng.below(
+                        static_cast<std::uint64_t>(c.maxDelta));
+                    add(c, c.s.now() + delta, depth - 1);
+                }
+            });
+        }
+    };
+
+    for (int i = 0; i < count; ++i) {
+        const Tick when = rng.below(static_cast<std::uint64_t>(maxDelta));
+        Spawner::add(ctx, when, i % childrenEvery == 0 ? 2 : 0);
+    }
+    s.run();
+
+    ASSERT_EQ(fired.size(), expected.size());
+    std::stable_sort(expected.begin(), expected.end());
+    EXPECT_EQ(fired, expected);
+    EXPECT_EQ(s.eventsExecuted(), fired.size());
+    EXPECT_EQ(s.pendingEvents(), 0u);
+}
+
+TEST(TimingWheel, RandomizedOrderLevel0Dense)
+{
+    // Deltas within one 64-tick block: pure L0 traffic, heavy FIFO
+    // tie-breaking at equal timestamps.
+    randomOrderCheck(/*seed=*/1, /*count=*/2000, /*maxDelta=*/64,
+                     /*childrenEvery=*/3);
+}
+
+TEST(TimingWheel, RandomizedOrderMultiLevel)
+{
+    // Deltas spanning levels 0-3: exercises cascades.
+    randomOrderCheck(2, 2000, Tick(1) << 20, 4);
+}
+
+TEST(TimingWheel, RandomizedOrderWithOverflow)
+{
+    // Deltas beyond the 2^30-tick wheel horizon: overflow heap
+    // drains back through the wheel.
+    randomOrderCheck(3, 1000, Tick(1) << 34, 5);
+}
+
+TEST(TimingWheel, EqualTimestampStormIsFifo)
+{
+    Simulator s;
+    std::vector<int> order;
+    for (int i = 0; i < 500; ++i)
+        s.schedule(100, [&order, i] { order.push_back(i); });
+    for (int i = 500; i < 1000; ++i)
+        s.schedule(50, [&order, i] { order.push_back(i); });
+    s.run();
+    ASSERT_EQ(order.size(), 1000u);
+    // All t=50 events (ids 500..999) first, each group in FIFO order.
+    for (int i = 0; i < 500; ++i) {
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], 500 + i);
+        EXPECT_EQ(order[static_cast<std::size_t>(500 + i)], i);
+    }
+}
+
+TEST(TimingWheel, ZeroDelaySelfSchedulingStaysAtNow)
+{
+    // scheduleIn(0) from inside a handler goes through the ready
+    // ring; time must not move and order must stay FIFO.
+    Simulator s;
+    std::vector<int> order;
+    s.schedule(10, [&] {
+        s.scheduleIn(0, [&] { order.push_back(1); });
+        s.scheduleIn(0, [&] {
+            order.push_back(2);
+            s.scheduleIn(0, [&] { order.push_back(3); });
+        });
+        order.push_back(0);
+    });
+    s.schedule(11, [&] { order.push_back(4); });
+    s.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+    EXPECT_EQ(s.now(), 11u);
+}
+
+TEST(TimingWheel, ReadyRingInterleavesWithEqualTimestampBucket)
+{
+    // Events A,B scheduled for t=5 up front; A schedules C at t=5
+    // (zero delay) while firing. C's seq is larger than B's, so the
+    // order must be A, B, C.
+    Simulator s;
+    std::vector<char> order;
+    s.schedule(5, [&] {
+        order.push_back('A');
+        s.scheduleIn(0, [&] { order.push_back('C'); });
+    });
+    s.schedule(5, [&] { order.push_back('B'); });
+    s.run();
+    EXPECT_EQ(order, (std::vector<char>{'A', 'B', 'C'}));
+}
+
+TEST(TimingWheel, RunUntilStopsBeforeFarFutureEvent)
+{
+    Simulator s;
+    bool fired = false;
+    s.schedule((Tick(1) << 31) + 7, [&] { fired = true; }); // overflow
+    s.runUntil(1000);
+    EXPECT_FALSE(fired);
+    EXPECT_EQ(s.now(), 1000u);
+    // Resume across the horizon: the event still fires exactly once,
+    // at its exact timestamp.
+    s.runUntil((Tick(1) << 31) + 7);
+    EXPECT_TRUE(fired);
+    EXPECT_EQ(s.now(), (Tick(1) << 31) + 7);
+}
+
+TEST(TimingWheel, RunUntilBoundaryIsInclusive)
+{
+    Simulator s;
+    int hits = 0;
+    s.schedule(100, [&] { ++hits; });
+    s.schedule(101, [&] { ++hits; });
+    s.runUntil(100);
+    EXPECT_EQ(hits, 1);
+    EXPECT_EQ(s.now(), 100u);
+    s.runUntil(101);
+    EXPECT_EQ(hits, 2);
+}
+
+TEST(TimingWheel, RunUntilThenScheduleNearbyOverflowEvent)
+{
+    // Clamping now() into the same top-level block as a parked
+    // overflow event must not move the clock backwards when the
+    // overflow later drains.
+    Simulator s;
+    const Tick horizon = Tick(1) << 30;
+    std::vector<Tick> at;
+    s.schedule(horizon + 5000, [&] { at.push_back(s.now()); });
+    s.runUntil(horizon + 1); // deadline inside the event's block
+    EXPECT_TRUE(at.empty());
+    EXPECT_EQ(s.now(), horizon + 1);
+    s.schedule(horizon + 100, [&] { at.push_back(s.now()); });
+    s.run();
+    EXPECT_EQ(at, (std::vector<Tick>{horizon + 100, horizon + 5000}));
+}
+
+TEST(TimingWheel, StopInsideBucketPreservesRemainder)
+{
+    // stop() mid-bucket: remaining equal-timestamp events stay queued
+    // and fire (in order) on the next run().
+    Simulator s;
+    std::vector<int> order;
+    for (int i = 0; i < 4; ++i)
+        s.schedule(20, [&, i] {
+            order.push_back(i);
+            if (i == 1)
+                s.stop();
+        });
+    s.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1}));
+    EXPECT_EQ(s.pendingEvents(), 2u);
+    s.reset_stop();
+    s.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(TimingWheel, SparseTimerExpressLaneMatchesDenseOrder)
+{
+    // One lone periodic timer (express lane) interleaved with a
+    // burst appearing later: ordering must be seamless.
+    Simulator s;
+    std::vector<std::pair<Tick, int>> order;
+    struct Timer
+    {
+        static void
+        arm(Simulator &s, std::vector<std::pair<Tick, int>> &order, int n)
+        {
+            if (n == 0)
+                return;
+            s.scheduleIn(1_us, [&s, &order, n] {
+                order.emplace_back(s.now(), 0);
+                arm(s, order, n - 1);
+            });
+        }
+    };
+    Timer::arm(s, order, 10);
+    s.schedule(3500, [&] { order.emplace_back(s.now(), 1); });
+    s.schedule(3500, [&] { order.emplace_back(s.now(), 2); });
+    s.run();
+    ASSERT_EQ(order.size(), 12u);
+    std::vector<std::pair<Tick, int>> sorted = order;
+    std::stable_sort(sorted.begin(), sorted.end(),
+                     [](const auto &a, const auto &b) {
+                         return a.first < b.first;
+                     });
+    EXPECT_EQ(order, sorted);
+    EXPECT_EQ(order[3], (std::pair<Tick, int>{3500, 1}));
+    EXPECT_EQ(order[4], (std::pair<Tick, int>{3500, 2}));
+}
+
+TEST(TimingWheel, PendingEventCountTracksCalendar)
+{
+    Simulator s;
+    s.schedule(10, [] {});
+    s.schedule(10, [] {});
+    s.schedule(Tick(1) << 33, [] {}); // overflow
+    s.scheduleIn(0, [] {});           // ready ring at t=0
+    EXPECT_EQ(s.pendingEvents(), 4u);
+    s.runUntil(10);
+    EXPECT_EQ(s.pendingEvents(), 1u);
+    s.run();
+    EXPECT_EQ(s.pendingEvents(), 0u);
+    EXPECT_EQ(s.eventsExecuted(), 4u);
+}
+
+} // namespace
