@@ -27,6 +27,14 @@ Runtime::Runtime(sim::Simulator &sim, RuntimeConfig cfg)
         }
         cfg_.forwarder.tolerateStaleTags = true;
     }
+    if (cfg_.congestion.enabled && cfg_.congestion.pfc.enabled &&
+        !cfg_.mq.pfc.enabled) {
+        // The congestion plane's PFC knobs propagate onto every
+        // mqueue: a full RX ring pauses its pusher (backpressure into
+        // the listeners/backend loops) instead of overflowing. An
+        // explicitly configured mq.pfc wins.
+        cfg_.mq.pfc = cfg_.congestion.pfc;
+    }
     sim_.metrics().add("lynx.runtime", stats_);
 }
 
@@ -196,6 +204,10 @@ Runtime::backendLoop(ClientQueueRef ref, net::Endpoint &ep,
 {
     // Push into the client mqueue's RX ring; responses must not be
     // dropped (TCP semantics), so retry while the accelerator drains.
+    // Each failed attempt is an mqueue `overflow` plus a retry here
+    // (with PFC enabled rxPush parks inside the mqueue instead, so
+    // this loop rarely spins).
+    sim::Counter &pushRetries = stats_.counter("backend_push_retries");
     auto push = [&](std::span<const std::uint8_t> payload,
                     std::uint32_t tag,
                     std::uint32_t err) -> sim::Co<void> {
@@ -203,6 +215,7 @@ Runtime::backendLoop(ClientQueueRef ref, net::Endpoint &ep,
             bool ok = co_await ref.mq->rxPush(core, payload, tag, err);
             if (ok)
                 co_return;
+            pushRetries.add();
             co_await sim::sleep(sim::microseconds(1));
         }
     };

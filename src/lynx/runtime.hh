@@ -243,6 +243,14 @@ struct RuntimeConfig
      *  software RDMA retry policy. Off (default) = seed behaviour,
      *  bit-identical. */
     FailoverConfig failover;
+
+    /** Congestion plane (should match the Network's config; scenario
+     *  helpers copy one into both). The Runtime consumes the PFC
+     *  knobs: when `congestion.enabled && congestion.pfc.enabled` and
+     *  `mq.pfc` was not configured explicitly, the PFC config is
+     *  copied onto every mqueue so full RX rings pause their pushers
+     *  instead of overflowing. Off (default) = seed behaviour. */
+    net::CongestionConfig congestion;
 };
 
 /** The SNIC-resident Lynx runtime. */

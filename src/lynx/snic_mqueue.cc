@@ -41,6 +41,11 @@ SnicMqueue::SnicMqueue(sim::Simulator &sim, std::string name,
     cRdmaErrors_ = &stats_.counter("rdma_errors");
     cRdmaRetries_ = &stats_.counter("rdma_retries");
     cSlotsLost_ = &stats_.counter("slots_lost");
+    cOverflow_ = &stats_.counter("overflow");
+    cPfcPauses_ = &stats_.counter("pfc_pauses");
+    cPfcResumes_ = &stats_.counter("pfc_resumes");
+    cPfcStormBreaks_ = &stats_.counter("pfc_storm_breaks");
+    hPauseTicks_ = &stats_.histogram("pfc_pause_ticks");
 
     sim_.metrics().add("lynx.mq." + name_, stats_);
 }
@@ -153,22 +158,76 @@ SnicMqueue::asyncRefresh(sim::Core &core)
 }
 
 sim::Co<bool>
+SnicMqueue::pfcWaitForSpace(sim::Core &core)
+{
+    if (!rxPaused_) {
+        rxPaused_ = true;
+        pauseStart_ = sim_.now();
+        cPfcPauses_->add();
+        LYNX_TRACE(sim_, "mqueue", name_, ": pfc pause (occupancy ",
+                   rxProduced_ - rxConsCache_, "/", layout_.slots, ")");
+    }
+    std::uint64_t xon = static_cast<std::uint64_t>(
+        cfg_.pfc.xonFrac * static_cast<double>(layout_.slots));
+    for (;;) {
+        if (sim_.now() - pauseStart_ >= cfg_.pfc.pauseTimeout) {
+            // Pause-storm guard: a drain that never comes (dead or
+            // wedged accelerator) must not park the dispatcher
+            // forever behind this queue — break the episode and let
+            // the push fail over to the counted drop path.
+            cPfcStormBreaks_->add();
+            pfcResume();
+            co_return false;
+        }
+        co_await sim::sleep(cfg_.pfc.pollInterval);
+        co_await refreshRxCons(core);
+        if (rxProduced_ - rxConsCache_ <= xon) {
+            pfcResume();
+            co_return true;
+        }
+    }
+}
+
+void
+SnicMqueue::pfcResume()
+{
+    if (!rxPaused_)
+        return;
+    rxPaused_ = false;
+    cPfcResumes_->add();
+    hPauseTicks_->record(sim_.now() - pauseStart_);
+    LYNX_TRACE(sim_, "mqueue", name_, ": pfc resume after ",
+               sim_.now() - pauseStart_, " ticks");
+}
+
+sim::Co<bool>
 SnicMqueue::rxPush(sim::Core &core, std::span<const std::uint8_t> payload,
                    std::uint32_t tag, std::uint32_t err)
 {
     LYNX_ASSERT(payload.size() <= layout_.maxPayload(), name_,
                 ": payload exceeds slot capacity");
-    // Credit prefetch: once the ring looks half full, refresh the
-    // consumer cache in the background so steady-state pushes never
-    // block on the read round trip.
-    if (!refreshInFlight_ &&
-        rxProduced_ - rxConsCache_ >= layout_.slots / 2) {
-        sim::spawn(sim_, asyncRefresh(core));
-    }
-    if (rxProduced_ - rxConsCache_ >= layout_.slots) {
+    for (;;) {
+        // Credit prefetch: once the ring looks half full, refresh the
+        // consumer cache in the background so steady-state pushes
+        // never block on the read round trip.
+        if (!refreshInFlight_ &&
+            rxProduced_ - rxConsCache_ >= layout_.slots / 2) {
+            sim::spawn(sim_, asyncRefresh(core));
+        }
+        if (rxProduced_ - rxConsCache_ < layout_.slots)
+            break;
         co_await refreshRxCons(core);
-        if (rxProduced_ - rxConsCache_ >= layout_.slots) {
+        if (rxProduced_ - rxConsCache_ < layout_.slots)
+            break;
+        // Genuinely full. Without PFC this is an overflow: the push
+        // fails (UDP semantics — the caller drops), now *counted*
+        // instead of vanishing into a generic failure. With PFC the
+        // pusher pauses until the accelerator drains, then loops back
+        // to re-validate (a concurrently resumed pusher may have
+        // claimed the freed slots first).
+        if (!cfg_.pfc.enabled || !co_await pfcWaitForSpace(core)) {
             cRxFull_->add();
+            cOverflow_->add();
             co_return false;
         }
     }
@@ -322,7 +381,12 @@ SnicMqueue::rxPushBatch(sim::Core &core, std::span<const RxItem> items)
         if (rxProduced_ - rxConsCache_ >= layout_.slots) {
             co_await refreshRxCons(core);
             if (rxProduced_ - rxConsCache_ >= layout_.slots) {
+                if (cfg_.pfc.enabled &&
+                    co_await pfcWaitForSpace(core)) {
+                    continue; // drained: re-validate from the top
+                }
                 cRxFull_->add();
+                cOverflow_->add(items.size() - accepted);
                 break;
             }
         }

@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "lynx/mqueue.hh"
+#include "net/congestion.hh"
 #include "net/message.hh"
 #include "rdma/qp.hh"
 #include "sim/co.hh"
@@ -75,6 +76,16 @@ struct SnicMqueueConfig
      *  bit-identical timing; required when a fault plan is bound to
      *  the QP and recovery matters (docs/INTERNALS.md §7). */
     rdma::RdmaRetryPolicy retry;
+
+    /** 802.1Qbb-style PFC on the RX ring: a push that finds the ring
+     *  full pauses (parking the pushing task — backpressure into the
+     *  dispatcher/forwarder) instead of failing, polling the consumer
+     *  register until occupancy drains to the XON threshold or the
+     *  pause-storm guard breaks the episode. Off by default: a full
+     *  ring fails the push immediately (seed timing), counted in the
+     *  `overflow` counter. Usually copied from
+     *  net::CongestionConfig::pfc by the Runtime. */
+    net::PfcConfig pfc;
 };
 
 /** A message popped from an mqueue's TX ring. */
@@ -177,6 +188,10 @@ class SnicMqueue
     {
         return rxProduced_ - rxConsCache_;
     }
+
+    /** @return whether an RX-ring PFC pause episode is in progress
+     *  (some pusher is parked waiting for the accelerator to drain). */
+    bool rxPaused() const { return rxPaused_; }
 
     /** @return whether TX credit must be committed (pending pops). */
     bool txCommitPending() const { return txCommitted_ != txConsumed_; }
@@ -308,6 +323,20 @@ class SnicMqueue
     /** Refresh the cached rxCons register over RDMA. */
     sim::Co<void> refreshRxCons(sim::Core &core);
 
+    /**
+     * PFC pause: park the pushing task, polling the consumer register
+     * every `pfc.pollInterval` until ring occupancy drains to the XON
+     * threshold (@return true — the caller re-validates and retries)
+     * or the episode exceeds `pfc.pauseTimeout` (storm guard;
+     * @return false — the caller falls back to the counted drop
+     * path). Only called on a genuinely full ring with PFC enabled.
+     */
+    sim::Co<bool> pfcWaitForSpace(sim::Core &core);
+
+    /** End the current pause episode (counts the resume and records
+     *  the pause duration; pause/resume always pair). */
+    void pfcResume();
+
     /** Background credit prefetch: refresh the consumer cache before
      *  the ring *looks* full, so the push path rarely blocks on the
      *  read round trip. */
@@ -343,6 +372,10 @@ class SnicMqueue
     bool transportDead_ = false;
     std::vector<std::uint64_t> lostSlots_;
 
+    /** PFC pause episode state (cfg_.pfc). */
+    bool rxPaused_ = false;
+    sim::Tick pauseStart_ = 0;
+
     /** Pending backend requests (client queues), FIFO. */
     std::deque<Pending> pending_;
     std::unique_ptr<sim::Gate> pendingActivity_;
@@ -370,6 +403,11 @@ class SnicMqueue
     sim::Counter *cRdmaErrors_;
     sim::Counter *cRdmaRetries_;
     sim::Counter *cSlotsLost_;
+    sim::Counter *cOverflow_;
+    sim::Counter *cPfcPauses_;
+    sim::Counter *cPfcResumes_;
+    sim::Counter *cPfcStormBreaks_;
+    sim::Histogram *hPauseTicks_;
 };
 
 } // namespace lynx::core

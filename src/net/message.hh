@@ -81,6 +81,13 @@ struct Message
      *  above the NIC — it surfaces as loss. */
     bool corrupted = false;
 
+    /** ECN Congestion Experienced: set by a congested egress port
+     *  (net/congestion.hh) on the way through the fabric; the
+     *  receiving NIC answers with a CNP to the source. Pure metadata
+     *  (lives in padding): never affects wire or serialization time,
+     *  and stays false while congestion control is disabled. */
+    bool ce = false;
+
     /** @return payload size in bytes. */
     std::uint64_t size() const { return payload.size(); }
 };

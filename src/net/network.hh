@@ -15,10 +15,12 @@
 #ifndef LYNX_NET_NETWORK_HH
 #define LYNX_NET_NETWORK_HH
 
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "congestion.hh"
 #include "message.hh"
 #include "nic.hh"
 #include "sim/fault.hh"
@@ -45,6 +47,11 @@ struct NetworkConfig
 
     /** Seed of the loss process (deterministic replay). */
     std::uint64_t lossSeed = 0x10ef;
+
+    /** Congestion plane (egress queues / ECN / DCQCN / PFC). Default
+     *  constructed = disabled = the exact seed routing path, with no
+     *  per-port state and no Rng draws (bit-identical timing). */
+    CongestionConfig congestion;
 };
 
 /** The data-center network: a set of NICs behind one switch. */
@@ -56,12 +63,21 @@ class Network
           cRouted_(&stats_.counter("routed")),
           cDroppedInFabric_(&stats_.counter("dropped_in_fabric")),
           cDroppedByFault_(&stats_.counter("dropped_by_fault")),
-          cCorruptedInFabric_(&stats_.counter("corrupted_in_fabric"))
+          cCorruptedInFabric_(&stats_.counter("corrupted_in_fabric")),
+          cEcnMarked_(&ecnStats_.counter("marked")),
+          cEgressDrops_(&ecnStats_.counter("egress_drops")),
+          cCnpSent_(&ecnStats_.counter("cnp_sent")),
+          hQueueBytes_(&ecnStats_.histogram("queue_bytes"))
     {
         sim_.metrics().add("net.fabric", stats_);
+        sim_.metrics().add("net.ecn", ecnStats_);
     }
 
-    ~Network() { sim_.metrics().remove(stats_); }
+    ~Network()
+    {
+        sim_.metrics().remove(stats_);
+        sim_.metrics().remove(ecnStats_);
+    }
 
     Network(const Network &) = delete;
     Network &operator=(const Network &) = delete;
@@ -121,10 +137,101 @@ class Network
             // fault doubles as the reordering fault.
             flight += v.delay;
         }
+        if (cfg_.congestion.enabled) {
+            // Store-and-forward through a finite egress queue: the
+            // frame reaches the port after the switch latency, queues
+            // behind earlier traffic to the same destination, may be
+            // ECN-marked in the RED band, and tail-drops past the
+            // queue capacity. Everything up to here (loss + fault
+            // draws) is unchanged from the seed path.
+            CongestionPoint &port = egressPort(m.dst.node);
+            sim::Tick arrival = sim_.now() + cfg_.switchLatency;
+            CongestionPoint::Verdict v =
+                port.admit(m.size(), arrival, /*lossless=*/false);
+            hQueueBytes_->record(v.depthBytes);
+            if (v.dropped) {
+                cEgressDrops_->add();
+                return;
+            }
+            if (v.marked) {
+                m.ce = true;
+                cEcnMarked_->add();
+            }
+            flight = v.start + port.serialization(m.size()) +
+                     cfg_.propagation + dst.config().hwLatency +
+                     (flight - (cfg_.switchLatency + cfg_.propagation +
+                                dst.config().hwLatency)) -
+                     sim_.now();
+        }
         cRouted_->add();
         sim_.scheduleIn(flight, [&dst, m = std::move(m)]() mutable {
             dst.deliver(std::move(m));
         });
+    }
+
+    /**
+     * Control-path CNP from @p congestedNode (the receiver that saw a
+     * CE mark) back to @p flowSrc: rides the highest priority, so it
+     * bypasses the egress queues and arrives after the fixed
+     * `cnpDelay` regardless of data-plane congestion.
+     */
+    void
+    sendCnp(std::uint32_t congestedNode, std::uint32_t flowSrc)
+    {
+        LYNX_DEBUG_ASSERT(flowSrc < nics_.size(),
+                          "CNP to unknown node ", flowSrc);
+        cCnpSent_->add();
+        Nic &src = *nics_[flowSrc];
+        sim_.scheduleIn(cfg_.congestion.cnpDelay,
+                        [&src, congestedNode] {
+                            src.handleCnp(congestedNode);
+                        });
+    }
+
+    /** @return the congestion plane's configuration. */
+    const CongestionConfig &congestionConfig() const
+    {
+        return cfg_.congestion;
+    }
+
+    /**
+     * The egress port feeding @p node, created on first use (never
+     * while the plane is disabled). Port rate = the destination
+     * NIC's link rate unless `portGbps` overrides it; RDMA flows can
+     * bind the same port (rdma::QpCongestionBinding) so datagram and
+     * RDMA traffic contend for one bottleneck.
+     */
+    CongestionPoint &
+    egressPort(std::uint32_t node)
+    {
+        LYNX_ASSERT(cfg_.congestion.enabled,
+                    "egress ports exist only with congestion enabled");
+        LYNX_ASSERT(node < nics_.size(), "unknown node ", node);
+        if (ports_.size() < nics_.size())
+            ports_.resize(nics_.size());
+        if (!ports_[node]) {
+            const CongestionConfig &cc = cfg_.congestion;
+            CongestionPoint::Config pc;
+            pc.gbps = cc.portGbps > 0.0 ? cc.portGbps
+                                        : nics_[node]->config().gbps;
+            pc.queueBytes = cc.egressQueueBytes;
+            if (cc.ecnEnabled) {
+                pc.kminBytes = cc.ecnKminBytes;
+                pc.kmaxBytes = cc.ecnKmaxBytes;
+                pc.pmax = cc.ecnPmax;
+            } else {
+                // Marking band pushed past any reachable depth: the
+                // port still queues and tail-drops, but never marks
+                // (and never draws randomness) — the uncontrolled
+                // baseline of the incast bench.
+                pc.kminBytes = pc.kmaxBytes =
+                    std::numeric_limits<std::uint64_t>::max();
+                pc.pmax = 0.0;
+            }
+            pc.seed = cc.ecnSeed + node * 0x9e3779b9ull;
+            ports_[node] = std::make_unique<CongestionPoint>(pc);
+        }
+        return *ports_[node];
     }
 
     /** Attach (or detach with nullptr) a fault-injection plan. The
@@ -138,6 +245,11 @@ class Network
     /** Fabric-wide statistics. */
     sim::StatSet &stats() { return stats_; }
 
+    /** Congestion-plane statistics (`net.ecn.*`: marked,
+     *  egress_drops, cnp_sent, queue_bytes). All zero while the
+     *  plane is disabled. */
+    sim::StatSet &ecnStats() { return ecnStats_; }
+
     sim::Simulator &sim() { return sim_; }
 
   private:
@@ -146,13 +258,23 @@ class Network
     sim::FaultPlan *faults_ = nullptr;
     sim::Rng lossRng_;
     std::vector<std::unique_ptr<Nic>> nics_;
+
+    /** Per-destination egress ports, lazily created (only while the
+     *  congestion plane is enabled; empty otherwise). */
+    std::vector<std::unique_ptr<CongestionPoint>> ports_;
+
     sim::StatSet stats_;
+    sim::StatSet ecnStats_;
 
     /** Per-message counters, resolved once at construction. */
     sim::Counter *cRouted_;
     sim::Counter *cDroppedInFabric_;
     sim::Counter *cDroppedByFault_;
     sim::Counter *cCorruptedInFabric_;
+    sim::Counter *cEcnMarked_;
+    sim::Counter *cEgressDrops_;
+    sim::Counter *cCnpSent_;
+    sim::Histogram *hQueueBytes_;
 };
 
 } // namespace lynx::net

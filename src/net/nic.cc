@@ -15,7 +15,11 @@ Nic::Nic(sim::Simulator &sim, Network &network, std::string name,
       cRxDropCorrupt_(&stats_.counter("rx_drop_corrupt")),
       cRxNoEndpoint_(&stats_.counter("rx_no_endpoint")),
       cRxDropUdp_(&stats_.counter("rx_drop_udp")),
-      cRxDropTcp_(&stats_.counter("rx_drop_tcp"))
+      cRxDropTcp_(&stats_.counter("rx_drop_tcp")),
+      cCeRx_(&stats_.counter("ce_rx")),
+      cCnpTx_(&stats_.counter("cnp_tx")),
+      cCnpRx_(&stats_.counter("cnp_rx")),
+      hFlowRateMbps_(&stats_.histogram("flow_rate_mbps"))
 {
     sim_.metrics().add("net.nic." + name_, stats_);
 }
@@ -43,6 +47,20 @@ Nic::unbind(Protocol proto, std::uint16_t port)
     endpoints_.erase(Key{proto, port});
 }
 
+Nic::FlowCc &
+Nic::flowTo(std::uint32_t dstNode)
+{
+    auto it = flows_.find(dstNode);
+    if (it == flows_.end()) {
+        it = flows_
+                 .try_emplace(dstNode,
+                              network_.congestionConfig().dcqcn,
+                              sim_.now())
+                 .first;
+    }
+    return it->second;
+}
+
 sim::Co<void>
 Nic::send(Message m)
 {
@@ -50,6 +68,19 @@ Nic::send(Message m)
                       ": spoofed source node");
     cTxMsgs_->add();
     cTxBytes_->add(m.size());
+
+    const CongestionConfig &cc = network_.congestionConfig();
+    if (cc.enabled && cc.dcqcnEnabled && m.dst.node != node_) {
+        // DCQCN rate limiter: hold the sender until the flow's paced
+        // slot. Pacing is per destination; the TX-queue serialization
+        // below still applies on top (the link is shared).
+        FlowCc &fc = flowTo(m.dst.node);
+        sim::Tick pace = fc.dcqcn.paceTime(m.size(), sim_.now());
+        sim::Tick start = std::max(sim_.now(), fc.nextAt);
+        fc.nextAt = start + pace;
+        if (start > sim_.now())
+            co_await sim::sleep(start - sim_.now());
+    }
 
     // Occupy the TX queue for the serialization time: a sender that
     // outpaces the link sees back-pressure.
@@ -84,6 +115,21 @@ Nic::deliver(Message m)
         return;
     }
 
+    if (m.ce) {
+        // Congestion Experienced: notify the sender with a CNP, paced
+        // per flow so a marking burst costs one notification.
+        cCeRx_->add();
+        const CongestionConfig &cc = network_.congestionConfig();
+        if (cc.enabled && cc.dcqcnEnabled && m.src.node != node_) {
+            sim::Tick &last = lastCnpTo_[m.src.node];
+            if (last == 0 || sim_.now() - last >= cc.cnpMinInterval) {
+                last = sim_.now();
+                cCnpTx_->add();
+                network_.sendCnp(node_, m.src.node);
+            }
+        }
+    }
+
     auto it = endpoints_.find(Key{m.proto, m.dst.port});
     if (it == endpoints_.end()) {
         cRxNoEndpoint_->add();
@@ -100,6 +146,16 @@ Nic::deliver(Message m)
         ++ep.dropped_;
         (ep.proto() == Protocol::Udp ? cRxDropUdp_ : cRxDropTcp_)->add();
     }
+}
+
+void
+Nic::handleCnp(std::uint32_t congestedNode)
+{
+    cCnpRx_->add();
+    FlowCc &fc = flowTo(congestedNode);
+    fc.dcqcn.onCnp(sim_.now());
+    hFlowRateMbps_->record(
+        static_cast<std::uint64_t>(fc.dcqcn.rateGbps() * 1000.0));
 }
 
 } // namespace lynx::net

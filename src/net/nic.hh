@@ -19,6 +19,7 @@
 #include <string>
 #include <utility>
 
+#include "congestion.hh"
 #include "message.hh"
 #include "sim/channel.hh"
 #include "sim/co.hh"
@@ -186,6 +187,23 @@ class Nic
     /** Called by the Network when a message arrives for this node. */
     void deliver(Message m);
 
+    /**
+     * Called by the Network when a CNP arrives: the receiver at
+     * @p congestedNode saw a CE mark on one of our frames. Applies a
+     * DCQCN rate cut to the flow toward that node.
+     */
+    void handleCnp(std::uint32_t congestedNode);
+
+    /** @return the DCQCN state of the flow toward @p dstNode, or
+     *  nullptr if that flow has never been rate-limited (test/debug
+     *  introspection). */
+    const Dcqcn *
+    dcqcnFor(std::uint32_t dstNode) const
+    {
+        auto it = flows_.find(dstNode);
+        return it == flows_.end() ? nullptr : &it->second.dcqcn;
+    }
+
     /** TX/RX counters and drop statistics. */
     sim::StatSet &stats() { return stats_; }
 
@@ -200,6 +218,24 @@ class Nic
   private:
     using Key = std::pair<Protocol, std::uint16_t>;
 
+    /** Sender-side congestion state of one flow (one destination). */
+    struct FlowCc
+    {
+        Dcqcn dcqcn;
+
+        /** Earliest time the next frame of this flow may start
+         *  serializing (DCQCN rate-limiter pacing). */
+        sim::Tick nextAt = 0;
+
+        explicit FlowCc(const DcqcnConfig &cfg, sim::Tick now)
+            : dcqcn(cfg, now)
+        {}
+    };
+
+    /** The rate limiter of the flow toward @p dstNode, created on
+     *  first transmission (only while DCQCN is enabled). */
+    FlowCc &flowTo(std::uint32_t dstNode);
+
     sim::Simulator &sim_;
     Network &network_;
     std::string name_;
@@ -207,6 +243,12 @@ class Nic
     NicConfig cfg_;
     sim::Tick txBusyUntil_ = 0;
     std::map<Key, std::unique_ptr<Endpoint>> endpoints_;
+    std::map<std::uint32_t, FlowCc> flows_;
+
+    /** Receiver role: last CNP emission time per flow source, for
+     *  CNP pacing (at most one per `cnpMinInterval`). */
+    std::map<std::uint32_t, sim::Tick> lastCnpTo_;
+
     sim::StatSet stats_;
 
     /** Per-message counters, resolved once at construction: the data
@@ -219,6 +261,10 @@ class Nic
     sim::Counter *cRxNoEndpoint_;
     sim::Counter *cRxDropUdp_;
     sim::Counter *cRxDropTcp_;
+    sim::Counter *cCeRx_;
+    sim::Counter *cCnpTx_;
+    sim::Counter *cCnpRx_;
+    sim::Histogram *hFlowRateMbps_;
 };
 
 } // namespace lynx::net

@@ -45,6 +45,19 @@ struct GoldenKnobs
     bool tracing = false;
     bool zeroFaultPlan = false;
     bool batching = false;
+
+    /** Pass an explicit CongestionConfig with every sub-feature
+     *  requested but the master switch OFF: the contract is that the
+     *  master switch alone decides, and a disabled config is
+     *  bit-identical to no config at all. */
+    bool congestionOffExplicit = false;
+
+    /** Full congestion plane ON (ECN + DCQCN + PFC at the default
+     *  25 Gb/s thresholds) under the scenario's serial closed-loop
+     *  load: nothing congests, but every message now crosses the
+     *  egress-port queue model and the DCQCN pacer, which shifts
+     *  timestamps deterministically — pinned to their own golden. */
+    bool congestionOn = false;
 };
 
 struct GoldenRun
@@ -66,7 +79,20 @@ runFig8bScale(const GoldenKnobs &knobs)
     if (knobs.tracing)
         spans = std::make_unique<sim::SpanCollector>(s);
 
-    net::Network network(s);
+    net::NetworkConfig ncfg;
+    if (knobs.congestionOffExplicit) {
+        // Every sub-feature asked for, master switch left off: must
+        // be indistinguishable from no config at all.
+        ncfg.congestion.ecnEnabled = true;
+        ncfg.congestion.dcqcnEnabled = true;
+        ncfg.congestion.pfc.enabled = true;
+    } else if (knobs.congestionOn) {
+        ncfg.congestion.enabled = true;
+        ncfg.congestion.ecnEnabled = true;
+        ncfg.congestion.dcqcnEnabled = true;
+        ncfg.congestion.pfc.enabled = true;
+    }
+    net::Network network(s, ncfg);
     sim::FaultPlan zeroPlan;
     if (knobs.zeroFaultPlan)
         network.setFaultPlan(&zeroPlan); // all-zero: must not move time
@@ -86,6 +112,7 @@ runFig8bScale(const GoldenKnobs &knobs)
     apps::LeNet model;
 
     core::RuntimeConfig cfg = bf.lynxRuntimeConfig();
+    cfg.congestion = ncfg.congestion;
     if (knobs.batching) {
         cfg.dispatchMaxBatch = 8;
         cfg.dispatchFlushLinger = 2_us;
@@ -177,6 +204,23 @@ seedStampsBatched()
     return stamps;
 }
 
+/**
+ * Captured with the full congestion plane enabled (ECN + DCQCN + PFC
+ * at the default 25 Gb/s thresholds) under the serial closed-loop
+ * load. The shift vs seedStamps() is pure deterministic pacing /
+ * egress-queue serialization — no randomness is consumed because the
+ * queue never reaches the ECN marking threshold.
+ */
+const std::vector<sim::Tick> &
+seedStampsCongestion()
+{
+    static const std::vector<sim::Tick> stamps{
+        328840,  329090,  337340,  629799,  630049,  638299,
+        930758,  931008,  953074,  1259848, 1260098, 1268348,
+        1560807, 1561057, 1569307, 1861766, 1862016, 1870266};
+    return stamps;
+}
+
 void
 printStamps(const char *tag, const GoldenRun &run)
 {
@@ -218,6 +262,23 @@ TEST(EngineGolden, BatchingMatchesSeedBatchedTimestamps)
     GoldenRun run = runFig8bScale(knobs);
     printStamps("batched", run);
     EXPECT_EQ(run.stamps, seedStampsBatched());
+}
+
+TEST(EngineGolden, DisabledCongestionConfigMatchesSeedTimestamps)
+{
+    GoldenKnobs knobs;
+    knobs.congestionOffExplicit = true;
+    GoldenRun run = runFig8bScale(knobs);
+    EXPECT_EQ(run.stamps, seedStamps());
+}
+
+TEST(EngineGolden, CongestionOnSerialLoadMatchesCongestionGolden)
+{
+    GoldenKnobs knobs;
+    knobs.congestionOn = true;
+    GoldenRun run = runFig8bScale(knobs);
+    printStamps("congestion", run);
+    EXPECT_EQ(run.stamps, seedStampsCongestion());
 }
 
 TEST(EngineGolden, BatchingPlusTracingMatchesSeedBatchedTimestamps)
