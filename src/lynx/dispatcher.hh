@@ -18,11 +18,14 @@
 #define LYNX_LYNX_DISPATCHER_HH
 
 #include <cstdint>
+#include <deque>
+#include <functional>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "lynx/snic_mqueue.hh"
+#include "lynx/tenant.hh"
 #include "net/message.hh"
 #include "sim/co.hh"
 #include "sim/processor.hh"
@@ -56,6 +59,14 @@ struct DispatcherConfig
      *  of a dead mqueue to a surviving one. Off (default) = no copy,
      *  the seed's zero-retention behaviour. */
     bool retainPayloads = false;
+
+    /** Tenant table (lynx/tenant.hh). Non-null virtualizes the
+     *  dispatch path for messages with a tenant id: SLA admission,
+     *  per-tenant class queues drained by weighted round-robin
+     *  under the mqueue quota. Null (default) = the seed path,
+     *  bit-identical timing; messages with tenant id 0 always take
+     *  the seed path either way. */
+    TenantTable *tenants = nullptr;
 };
 
 /** Dispatches one service's ingress traffic to its mqueues. */
@@ -72,7 +83,9 @@ class Dispatcher
           cDroppedNoLive_(&stats_.counter("dropped_no_live_queue")),
           cDispatched_(&stats_.counter("dispatched")),
           cBatchFlushes_(&stats_.counter("batch_flushes")),
-          cRequeued_(&stats_.counter("requeued"))
+          cRequeued_(&stats_.counter("requeued")),
+          cDroppedTenantReject_(
+              &stats_.counter("dropped_tenant_reject"))
     {}
 
     Dispatcher(std::string name, DispatchPolicy policy,
@@ -131,6 +144,13 @@ class Dispatcher
     {
         LYNX_ASSERT(!queues_.empty(), name_, ": no mqueues registered");
         co_await core.exec(cfg_.dispatchCpu);
+        if (cfg_.tenants && msg.tenant != 0) {
+            // Virtualized path: admission + class queues + WRR. One
+            // branch on a null pointer is all the untenanted world
+            // pays for it.
+            co_await dispatchTenant(core, std::move(msg));
+            co_return;
+        }
         std::size_t qi = pickIndex(msg);
         if (qi == kNoQueue) {
             // Every mqueue is dead or transport-failed: the sentinel
@@ -152,6 +172,9 @@ class Dispatcher
         client.seq = msg.seq;
         client.sentAt = msg.sentAt;
         client.traceId = msg.traceId;
+        // Metadata copy only — without a TenantTable nobody ever
+        // reads it, so the seed path stays bit-identical.
+        client.tenant = msg.tenant;
         if (cfg_.retainPayloads)
             client.payload = msg.payload.toVector();
         auto tag = mq.allocTag(client);
@@ -256,6 +279,8 @@ class Dispatcher
                 continue;
             if (c->payload.empty() && !cfg_.retainPayloads) {
                 cDroppedTransport_->add();
+                if (cfg_.tenants && c->tenant != 0)
+                    cfg_.tenants->abandoned(c->tenant);
                 continue;
             }
             net::Payload payload = c->payload;
@@ -297,10 +322,114 @@ class Dispatcher
             // (transportDead) or gives up.
         }
         cDroppedNoLive_->add();
+        if (cfg_.tenants && client.tenant != 0)
+            cfg_.tenants->abandoned(client.tenant);
         co_return false;
     }
 
     sim::StatSet &stats() { return stats_; }
+
+    /** @{ @name Tenant traffic classes (lynx/tenant.hh)
+     *
+     *  With a TenantTable configured, tenanted messages go through
+     *  admission (SLA cap) into a per-tenant class queue; the pump
+     *  places queued work onto the mqueues in smooth-WRR order,
+     *  subject to each tenant's mqueue quota. The pump is
+     *  work-conserving: any tenant with queued work and quota
+     *  headroom keeps the rings busy, whatever the others do. */
+
+    /** @return whether any class queue holds deferred work. */
+    bool hasTenantPending() const { return tenantPendingTotal_ != 0; }
+
+    /** @return total messages across all class queues. */
+    std::size_t tenantPending() const { return tenantPendingTotal_; }
+
+    /** @return queued messages of one tenant's class. */
+    std::size_t
+    tenantPendingOf(TenantId t) const
+    {
+        return t < classes_.size() ? classes_[t].size() : 0;
+    }
+
+    /** Called (if set) whenever the dispatcher leaves work deferred
+     *  in a class queue — the Runtime's drain task wakes on it. */
+    void
+    setTenantBacklogHook(std::function<void()> fn)
+    {
+        backlogHook_ = std::move(fn);
+    }
+
+    /**
+     * Drain the class queues: repeatedly WRR-pick an eligible
+     * tenant (non-empty class, below its mqueue quota), place its
+     * oldest message. Stops when nothing is eligible, the tag table
+     * fills, or a ring rejects the push (the message returns to the
+     * head of its class; freed capacity re-triggers via the
+     * backlog hook / TenantTable capacity hooks).
+     */
+    sim::Co<void>
+    pumpTenants(sim::Core &core)
+    {
+        if (!cfg_.tenants || tenantPendingTotal_ == 0)
+            co_return;
+        for (;;) {
+            std::size_t t = wrr_.pick(
+                classes_.size(), [&](std::size_t i) -> std::int64_t {
+                    if (classes_[i].empty())
+                        return 0;
+                    TenantId id = static_cast<TenantId>(i);
+                    if (!cfg_.tenants->belowTagQuota(id))
+                        return 0;
+                    return cfg_.tenants->weight(id);
+                });
+            if (t == WrrPicker::kNone)
+                co_return;
+            Pending p = std::move(classes_[t].front());
+            classes_[t].pop_front();
+            --tenantPendingTotal_;
+            std::size_t qi = pickLive(p.client);
+            if (qi == kNoQueue) {
+                cDroppedNoLive_->add();
+                cfg_.tenants->abandoned(p.client.tenant);
+                continue;
+            }
+            SnicMqueue &mq = *queues_[qi];
+            auto tag = mq.allocTag(p.client);
+            if (!tag) {
+                // Tag table full: park at the head of the class (its
+                // FIFO order is preserved) until a release frees one.
+                // The turn served nothing — refund it, or the retry
+                // cadence aliases against the weight pattern and can
+                // starve a class (WrrPicker::unpick).
+                classes_[t].push_front(std::move(p));
+                ++tenantPendingTotal_;
+                wrr_.unpick();
+                co_return;
+            }
+            bool ok = co_await mq.rxPush(core, p.payload, *tag);
+            if (!ok) {
+                auto c = mq.tryReleaseTag(*tag);
+                if (mq.transportDead() && c) {
+                    // redispatch() itself abandons the tenant's
+                    // in-flight slot on final failure.
+                    if (co_await redispatch(core, std::move(p.payload),
+                                            std::move(*c)))
+                        continue;
+                    cDroppedTransport_->add();
+                    continue;
+                }
+                // Ring genuinely full: park; consumption + tag
+                // release will reopen capacity. Unserved turn —
+                // refund it (see the allocTag park above).
+                classes_[t].push_front(std::move(p));
+                ++tenantPendingTotal_;
+                wrr_.unpick();
+                co_return;
+            }
+            cDispatched_->add();
+        }
+    }
+    /** @} */
 
   private:
     struct Staged
@@ -308,6 +437,48 @@ class Dispatcher
         net::Payload payload;
         std::uint32_t tag;
     };
+
+    /** One admitted-but-not-yet-placed tenant request. */
+    struct Pending
+    {
+        net::Payload payload;
+        ClientRef client;
+    };
+
+    sim::Co<void>
+    dispatchTenant(sim::Core &core, net::Message msg)
+    {
+        if (msg.size() > queues_[0]->layout().maxPayload()) {
+            cDroppedOversized_->add();
+            co_return;
+        }
+        TenantId t = msg.tenant;
+        if (!cfg_.tenants->admit(t)) {
+            // Admission reject IS the SLA knob: an over-cap (or
+            // retired/unknown) tenant's arrival is refused with a
+            // counted drop reason, keeping "no silent loss".
+            cDroppedTenantReject_->add();
+            co_return;
+        }
+        if (classes_.size() < cfg_.tenants->idSpan())
+            classes_.resize(cfg_.tenants->idSpan());
+        Pending p;
+        p.payload = std::move(msg.payload);
+        p.client.addr = msg.src;
+        p.client.proto = msg.proto;
+        p.client.seq = msg.seq;
+        p.client.sentAt = msg.sentAt;
+        p.client.traceId = msg.traceId;
+        p.client.tenant = t;
+        p.client.tenantGen = cfg_.tenants->generation(t);
+        if (cfg_.retainPayloads)
+            p.client.payload = p.payload.toVector();
+        classes_[t].push_back(std::move(p));
+        ++tenantPendingTotal_;
+        co_await pumpTenants(core);
+        if (tenantPendingTotal_ != 0 && backlogHook_)
+            backlogHook_();
+    }
 
     sim::Co<void>
     flushQueue(sim::Core &core, std::size_t qi)
@@ -418,6 +589,14 @@ class Dispatcher
     std::vector<std::vector<Staged>> staged_;
     std::size_t stagedCount_ = 0;
     std::size_t rr_ = 0;
+
+    /** Per-tenant class queues, indexed by tenant id (slot 0
+     *  unused); sized lazily against the TenantTable's id span. */
+    std::vector<std::deque<Pending>> classes_;
+    std::size_t tenantPendingTotal_ = 0;
+    WrrPicker wrr_;
+    std::function<void()> backlogHook_;
+
     sim::StatSet stats_;
 
     /** Hot-path counters, resolved once at construction. */
@@ -429,6 +608,7 @@ class Dispatcher
     sim::Counter *cDispatched_;
     sim::Counter *cBatchFlushes_;
     sim::Counter *cRequeued_;
+    sim::Counter *cDroppedTenantReject_;
 };
 
 } // namespace lynx::core

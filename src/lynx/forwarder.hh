@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "lynx/snic_mqueue.hh"
+#include "lynx/tenant.hh"
 #include "net/nic.hh"
 #include "net/stack.hh"
 #include "sim/processor.hh"
@@ -76,6 +77,14 @@ struct ForwarderConfig
      *  answer requests whose tags were drained and re-queued. Off
      *  (default) keeps the seed's strict assert. */
     bool tolerateStaleTags = false;
+
+    /** Tenant table (lynx/tenant.hh). Non-null adds the forward-path
+     *  half of the virtualization: batched TX drains are re-ordered
+     *  into weighted-round-robin traffic classes, responses record
+     *  per-tenant latency, and a retired tenant's responses are
+     *  dropped-and-counted (tag-namespace generation check) instead
+     *  of delivered stale. Null (default) = seed behaviour. */
+    TenantTable *tenants = nullptr;
 };
 
 /** Egress pump for one accelerator's mqueues. */
@@ -96,7 +105,8 @@ class Forwarder
           cResponses_(&stats_.counter("responses")),
           cBackendRequests_(&stats_.counter("backend_requests")),
           cBatchFetches_(&stats_.counter("batch_fetches")),
-          cStaleResponses_(&stats_.counter("stale_responses"))
+          cStaleResponses_(&stats_.counter("stale_responses")),
+          cTenantStale_(&stats_.counter("tenant_stale_drops"))
     {
         queues_.reserve(8);
         sim_.metrics().add("lynx.fwd." + name_, stats_);
@@ -177,6 +187,9 @@ class Forwarder
                             break;
                         progress = true;
                         cBatchFetches_->add();
+                        if (cfg_.tenants && batch.size() > 1 &&
+                            e.mq->kind() == MqueueKind::Server)
+                            orderByTenantClass(*e.mq, batch);
                         for (auto &txm : batch)
                             co_await forwardOne(e, std::move(txm));
                     }
@@ -207,6 +220,59 @@ class Forwarder
                 co_await sim::sleep(discoveryDelay(lastProgress));
             }
         }
+    }
+
+    /**
+     * Re-order a fetched TX batch into WRR traffic classes: pick
+     * tenants by weight (credit carried across batches in fwdWrr_,
+     * so fairness holds over time, not just within one fetch) and
+     * take each tenant's slots in their original FIFO order.
+     * Untenanted slots ride in class 0 with weight 1. Pure
+     * re-ordering — every slot is still forwarded (work-conserving),
+     * only the egress order changes.
+     */
+    void
+    orderByTenantClass(SnicMqueue &mq, std::vector<TxMessage> &batch)
+    {
+        scratchTenant_.clear();
+        bool mixed = false;
+        for (const TxMessage &txm : batch) {
+            const ClientRef *c = mq.peekTag(txm.tag);
+            TenantId t = c ? c->tenant : 0;
+            if (!scratchTenant_.empty() && t != scratchTenant_.back())
+                mixed = true;
+            scratchTenant_.push_back(t);
+        }
+        if (!mixed)
+            return; // single class: order already correct
+        std::size_t span = 0;
+        for (TenantId t : scratchTenant_)
+            span = std::max<std::size_t>(span, t + 1);
+        scratchOrder_.clear();
+        scratchTaken_.assign(batch.size(), 0);
+        for (std::size_t n = 0; n < batch.size(); ++n) {
+            std::size_t t = fwdWrr_.pick(
+                span, [&](std::size_t cls) -> std::int64_t {
+                    for (std::size_t i = 0; i < batch.size(); ++i)
+                        if (!scratchTaken_[i] &&
+                            scratchTenant_[i] == cls)
+                            return cfg_.tenants->weight(
+                                static_cast<TenantId>(cls));
+                    return 0;
+                });
+            for (std::size_t i = 0; i < batch.size(); ++i) {
+                if (!scratchTaken_[i] && scratchTenant_[i] == t) {
+                    scratchTaken_[i] = 1;
+                    scratchOrder_.push_back(i);
+                    break;
+                }
+            }
+        }
+        std::vector<TxMessage> reordered;
+        reordered.reserve(batch.size());
+        for (std::size_t i : scratchOrder_)
+            reordered.push_back(std::move(batch[i]));
+        batch = std::move(reordered);
     }
 
     /** Doorbell-to-discovery delay for the next poll round. */
@@ -243,6 +309,19 @@ class Forwarder
             } else {
                 client = e.mq->releaseTag(txm.tag);
             }
+            if (cfg_.tenants && client.tenant != 0) {
+                if (!cfg_.tenants->finish(client.tenant,
+                                          client.tenantGen,
+                                          sim_.now() - client.sentAt)) {
+                    // The tenant was retired while this request was
+                    // in flight: its slot drained (counted in the
+                    // table) but the response itself must never be
+                    // delivered stale.
+                    cTenantStale_->add();
+                    co_return;
+                }
+            }
+            out.tenant = client.tenant;
             out.src = net::Address{nic_.node(), e.servicePort};
             out.dst = client.addr;
             out.proto = client.proto;
@@ -281,6 +360,13 @@ class Forwarder
     sim::Gate activity_;
     std::vector<Entry> queues_;
     bool started_ = false;
+
+    /** Forward-path WRR state + scratch (reused across batches). */
+    WrrPicker fwdWrr_;
+    std::vector<TenantId> scratchTenant_;
+    std::vector<std::size_t> scratchOrder_;
+    std::vector<char> scratchTaken_;
+
     sim::StatSet stats_;
 
     /** Hot-path counters, resolved once at construction. */
@@ -288,6 +374,7 @@ class Forwarder
     sim::Counter *cBackendRequests_;
     sim::Counter *cBatchFetches_;
     sim::Counter *cStaleResponses_;
+    sim::Counter *cTenantStale_;
 };
 
 } // namespace lynx::core

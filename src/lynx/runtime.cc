@@ -35,6 +35,14 @@ Runtime::Runtime(sim::Simulator &sim, RuntimeConfig cfg)
         // explicitly configured mq.pfc wins.
         cfg_.mq.pfc = cfg_.congestion.pfc;
     }
+    if (cfg_.tenancy.enabled) {
+        // One PF-side tenant table, shared by every dispatcher
+        // (admission + WRR classes), mqueue (ring-tag accounting)
+        // and forwarder (generation check, per-tenant latency).
+        tenants_ = std::make_unique<TenantTable>(sim_, cfg_.tenancy);
+        cfg_.mq.tenants = tenants_.get();
+        cfg_.forwarder.tenants = tenants_.get();
+    }
     sim_.metrics().add("lynx.runtime", stats_);
 }
 
@@ -79,7 +87,7 @@ Runtime::addService(ServiceConfig scfg)
     services_.push_back(std::make_unique<Service>(
         scfg, ep,
         DispatcherConfig{cfg_.dispatchCpu, cfg_.dispatchMaxBatch,
-                         cfg_.failover.enabled}));
+                         cfg_.failover.enabled, tenants_.get()}));
     Service &svc = *services_.back();
     // The Dispatcher itself carries no Simulator reference; its owner
     // registers the stats on its behalf (removed in ~Runtime).
@@ -158,6 +166,43 @@ Runtime::start()
                 svc->dispatcher(), nextCore(), cfg_.failover));
             monitors_.back()->start();
         }
+    }
+    if (tenants_) {
+        for (auto &svc : services_) {
+            tenantGates_.push_back(
+                std::make_unique<sim::Gate>(sim_));
+            sim::Gate *gate = tenantGates_.back().get();
+            Dispatcher *d = &svc->dispatcher();
+            // Deferred work reopens the gate from two directions:
+            // the dispatcher left a backlog (couldn't place it), or
+            // table capacity freed (a completion/abandon/tag
+            // release) while a backlog exists.
+            d->setTenantBacklogHook([gate] { gate->open(); });
+            tenants_->onCapacityFreed([d, gate] {
+                if (d->hasTenantPending())
+                    gate->open();
+            });
+            sim::spawn(sim_,
+                       tenantDrainLoop(*svc, nextCore(), *gate));
+        }
+    }
+}
+
+sim::Task
+Runtime::tenantDrainLoop(Service &svc, sim::Core &core,
+                         sim::Gate &gate)
+{
+    for (;;) {
+        co_await gate.wait();
+        gate.close();
+        // Small hysteresis: batch several completions (or a burst of
+        // deferred arrivals) into one pump sweep.
+        if (cfg_.tenancy.drainDelay > 0)
+            co_await sim::sleep(cfg_.tenancy.drainDelay);
+        co_await svc.dispatcher().pumpTenants(core);
+        // Whatever is still deferred waits for the next capacity
+        // hook; parking on the closed gate keeps the idle world
+        // event-free (sim.run() terminates).
     }
 }
 

@@ -39,6 +39,7 @@
 #include "lynx/forwarder.hh"
 #include "lynx/gio.hh"
 #include "lynx/snic_mqueue.hh"
+#include "lynx/tenant.hh"
 #include "net/network.hh"
 #include "net/nic.hh"
 #include "net/stack.hh"
@@ -251,6 +252,13 @@ struct RuntimeConfig
      *  copied onto every mqueue so full RX rings pause their pushers
      *  instead of overflowing. Off (default) = seed behaviour. */
     net::CongestionConfig congestion;
+
+    /** Multi-tenant virtualization of the dispatch plane
+     *  (lynx/tenant.hh). Enabling builds a TenantTable, wires it
+     *  into every dispatcher/mqueue/forwarder and spawns one
+     *  event-driven class-queue drain task per service. Off
+     *  (default) = seed behaviour, bit-identical. */
+    TenantConfig tenancy;
 };
 
 /** The SNIC-resident Lynx runtime. */
@@ -323,6 +331,10 @@ class Runtime
     /** @return the runtime's NIC. */
     net::Nic &nic() { return *cfg_.nic; }
 
+    /** @return the tenant table (null unless tenancy is enabled).
+     *  Scenario code registers/retires tenants through it. */
+    TenantTable *tenants() { return tenants_.get(); }
+
     sim::StatSet &stats() { return stats_; }
 
   private:
@@ -336,6 +348,13 @@ class Runtime
     sim::Task backendLoop(ClientQueueRef ref, net::Endpoint &ep,
                           net::Protocol proto, sim::Core &core);
 
+    /** Event-driven drain of one service's tenant class queues:
+     *  parks on @p gate (opened by the dispatcher's backlog hook and
+     *  the table's capacity-freed hooks) — never polls, so an idle
+     *  world schedules no events and sim.run() still terminates. */
+    sim::Task tenantDrainLoop(Service &svc, sim::Core &core,
+                              sim::Gate &gate);
+
     sim::Simulator &sim_;
     RuntimeConfig cfg_;
     std::size_t coreRr_ = 0;
@@ -346,6 +365,8 @@ class Runtime
     std::vector<std::unique_ptr<Service>> services_;
     std::vector<std::unique_ptr<SnicMqueue>> mqueues_;
     std::vector<std::unique_ptr<HealthMonitor>> monitors_;
+    std::unique_ptr<TenantTable> tenants_;
+    std::vector<std::unique_ptr<sim::Gate>> tenantGates_;
 
     struct BackendBinding
     {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "lynx/tenant.hh"
 #include "sim/span.hh"
 #include "sim/task.hh"
 #include "sim/trace.hh"
@@ -572,6 +573,8 @@ SnicMqueue::allocTag(const ClientRef &client)
     freeTags_.pop_back();
     tags_[idx] = client;
     std::uint32_t tag = idx | (tagGen_[idx] << 16);
+    if (cfg_.tenants && client.tenant != 0)
+        cfg_.tenants->noteTagAlloc(client.tenant);
     // Dispatcher picked this queue and claimed the tag: that is the
     // dispatch-enqueue hop. The accelerator side only sees the 32-bit
     // tag, so bind tag -> trace id for the downstream stamps; the
@@ -612,7 +615,20 @@ SnicMqueue::tryReleaseTag(std::uint32_t tag)
     freeTags_.push_back(idx);
     if (sim::SpanCollector *spans = sim_.spans())
         spans->unbindTag(&qp_.target(), layout_.base, tag);
+    if (cfg_.tenants && c.tenant != 0)
+        cfg_.tenants->noteTagRelease(c.tenant);
     return c;
+}
+
+const ClientRef *
+SnicMqueue::peekTag(std::uint32_t tag) const
+{
+    std::uint32_t idx = tag & 0xffffu;
+    std::uint32_t gen = tag >> 16;
+    if (idx >= tags_.size() || !tags_[idx].has_value() ||
+        tagGen_[idx] != gen)
+        return nullptr;
+    return &*tags_[idx];
 }
 
 std::vector<std::uint32_t>

@@ -46,6 +46,8 @@
 
 namespace lynx::core {
 
+class TenantTable;
+
 /** Server mqueues serve a listening port; client mqueues reach a
  *  fixed backend destination (§4.3). */
 enum class MqueueKind { Server, Client };
@@ -86,6 +88,13 @@ struct SnicMqueueConfig
      *  `overflow` counter. Usually copied from
      *  net::CongestionConfig::pfc by the Runtime. */
     net::PfcConfig pfc;
+
+    /** Tenant table for per-tenant ring-tag accounting (mqueue
+     *  quotas, lynx/tenant.hh): the allocTag/release paths notify it
+     *  so quotas stay balanced across failover requeues too. Null
+     *  (default) = untenanted, zero overhead. Set by the Runtime
+     *  when its TenantConfig is enabled. */
+    TenantTable *tenants = nullptr;
 };
 
 /** A message popped from an mqueue's TX ring. */
@@ -109,6 +118,14 @@ struct ClientRef
      *  forwarder copies it onto the response so the client can close
      *  the span. */
     std::uint64_t traceId = 0;
+
+    /** Owning tenant (0 = untenanted) and the tenant's tag-namespace
+     *  generation at dispatch time. The forwarder checks the
+     *  generation against the TenantTable before answering: a
+     *  retired tenant's responses are dropped-and-counted, never
+     *  delivered stale (lynx/tenant.hh). */
+    std::uint16_t tenant = 0;
+    std::uint16_t tenantGen = 0;
 
     /** Copy of the request payload, kept only when the dispatcher
      *  runs with payload retention (failover): it is what health
@@ -226,6 +243,12 @@ class SnicMqueue
     /** @return every currently allocated tag (generation-encoded),
      *  i.e. the in-flight requests a health drain must re-queue. */
     std::vector<std::uint32_t> allocatedTags() const;
+
+    /** Non-destructive tag lookup: @return the ClientRef @p tag is
+     *  currently allocated to, or null for unknown/stale tags. The
+     *  forwarder's WRR traffic classes use it to learn a fetched TX
+     *  slot's tenant before releasing the tag. */
+    const ClientRef *peekTag(std::uint32_t tag) const;
 
     /** @return requests with an allocated tag, i.e. dispatched but
      *  not yet answered. Exact and SNIC-local (no RDMA), unlike

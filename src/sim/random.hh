@@ -11,8 +11,10 @@
 #ifndef LYNX_SIM_RANDOM_HH
 #define LYNX_SIM_RANDOM_HH
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <vector>
 
 #include "logging.hh"
 
@@ -106,6 +108,52 @@ class Rng
     }
 
     std::uint64_t state_[4];
+};
+
+/**
+ * Zipf(s) distribution over ranks [0, n): rank k is drawn with
+ * probability proportional to 1/(k+1)^s — the skewed-popularity
+ * shape of real multi-tenant traffic (a few hot tenants, a long
+ * cold tail). CDF precomputed at construction; each draw is one
+ * uniform + a binary search, allocation-free.
+ */
+class ZipfDist
+{
+  public:
+    explicit ZipfDist(std::size_t n, double s = 1.0) : cdf_(n)
+    {
+        LYNX_ASSERT(n > 0, "empty zipf support");
+        double sum = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            sum += 1.0 / std::pow(static_cast<double>(i + 1), s);
+            cdf_[i] = sum;
+        }
+        for (double &c : cdf_)
+            c /= sum;
+    }
+
+    /** @return a rank in [0, n). */
+    std::size_t
+    operator()(Rng &rng) const
+    {
+        double u = rng.uniform();
+        auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+        if (it == cdf_.end())
+            return cdf_.size() - 1;
+        return static_cast<std::size_t>(it - cdf_.begin());
+    }
+
+    /** @return rank @p i's probability mass (load planning). */
+    double
+    share(std::size_t i) const
+    {
+        return cdf_[i] - (i == 0 ? 0.0 : cdf_[i - 1]);
+    }
+
+    std::size_t size() const { return cdf_.size(); }
+
+  private:
+    std::vector<double> cdf_;
 };
 
 } // namespace lynx::sim

@@ -81,6 +81,13 @@ SpanCollector::begin(Tick now)
 }
 
 void
+SpanCollector::setTenant(std::uint64_t id, std::uint16_t tenant)
+{
+    if (RequestSpan *span = findLive(id))
+        span->tenant = tenant;
+}
+
+void
 SpanCollector::stamp(std::uint64_t id, Stage stage, Tick now)
 {
     RequestSpan *span = findLive(id);
@@ -256,7 +263,10 @@ SpanCollector::writeChromeTrace(std::ostream &os) const
                << "\",\"ph\":\"X\",\"pid\":1,\"tid\":" << span.id
                << ",\"ts\":" << toMicroseconds(prev)
                << ",\"dur\":" << toMicroseconds(span.stamp[i] - prev)
-               << ",\"args\":{\"trace_id\":" << span.id << "}}";
+               << ",\"args\":{\"trace_id\":" << span.id;
+            if (span.tenant != 0)
+                os << ",\"tenant\":" << span.tenant;
+            os << "}}";
             prev = span.stamp[i];
         }
     }

@@ -64,6 +64,13 @@ const char *stageName(Stage s);
 struct RequestSpan
 {
     std::uint64_t id = 0;
+
+    /** Owning tenant (lynx/tenant.hh), 0 = untenanted. Tagged by
+     *  the load generator right after begin(); exported in the
+     *  Chrome trace args so per-tenant filtering works in
+     *  Perfetto. Pure metadata, like everything span-side. */
+    std::uint16_t tenant = 0;
+
     std::array<Tick, kNumStages> stamp;
 
     RequestSpan() { stamp.fill(maxTick); }
@@ -95,6 +102,10 @@ class SpanCollector
     /** Stamp @p stage of span @p id; first stamp wins (a response
      *  re-traversing the NIC must not overwrite the request's TX). */
     void stamp(std::uint64_t id, Stage stage, Tick now);
+
+    /** Tag the live span @p id with its owning tenant (metadata
+     *  only — never affects timing). */
+    void setTenant(std::uint64_t id, std::uint16_t tenant);
 
     /**
      * @{

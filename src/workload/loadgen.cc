@@ -82,8 +82,12 @@ LoadGen::closedWorker(int idx)
         m.payload = cfg_.makeRequest(seq, rng);
         m.seq = seq;
         m.sentAt = sim_.now();
-        if (sim::SpanCollector *spans = sim_.spans())
+        m.tenant = cfg_.tenant;
+        if (sim::SpanCollector *spans = sim_.spans()) {
             m.traceId = spans->begin(sim_.now());
+            if (cfg_.tenant != 0)
+                spans->setTenant(m.traceId, cfg_.tenant);
+        }
         if (inWindow(sim_.now()))
             ++sent_;
         co_await cfg_.nic->send(std::move(m));
@@ -133,8 +137,12 @@ LoadGen::openSender()
         m.payload = cfg_.makeRequest(seq, rng_);
         m.seq = seq;
         m.sentAt = sim_.now();
-        if (sim::SpanCollector *spans = sim_.spans())
+        m.tenant = cfg_.tenant;
+        if (sim::SpanCollector *spans = sim_.spans()) {
             m.traceId = spans->begin(sim_.now());
+            if (cfg_.tenant != 0)
+                spans->setTenant(m.traceId, cfg_.tenant);
+        }
         if (inWindow(sim_.now()))
             ++sent_;
         co_await cfg_.nic->send(std::move(m));

@@ -84,6 +84,11 @@ struct LoadGenConfig
      *  (0 = none). Decorrelates workers for latency measurements. */
     sim::Tick thinkTime = 0;
 
+    /** Tenant id stamped on every request (lynx/tenant.hh); 0 =
+     *  untenanted. Pure metadata unless the serving runtime has a
+     *  TenantTable enabled. */
+    std::uint16_t tenant = 0;
+
     std::uint64_t seed = 1;
 };
 

@@ -58,6 +58,19 @@ struct GoldenKnobs
      *  egress-port queue model and the DCQCN pacer, which shifts
      *  timestamps deterministically — pinned to their own golden. */
     bool congestionOn = false;
+
+    /** Pass a fully-populated TenantConfig (auto-registration,
+     *  weights, caps, quotas) with the master switch OFF, and stamp
+     *  a tenant id on every request: the contract is that the switch
+     *  alone decides, and a disabled tenancy config — even with
+     *  tenant ids on the wire — is bit-identical to the seed. */
+    bool tenancyOffExplicit = false;
+
+    /** Multi-tenant dispatch plane ON with generous quotas under the
+     *  serial closed-loop load: every request now takes the
+     *  class-queue + WRR placement path — pinned to its own
+     *  golden. */
+    bool tenancyOn = false;
 };
 
 struct GoldenRun
@@ -118,6 +131,13 @@ runFig8bScale(const GoldenKnobs &knobs)
         cfg.dispatchFlushLinger = 2_us;
         cfg.mq.maxBatch = 8;
     }
+    if (knobs.tenancyOffExplicit || knobs.tenancyOn) {
+        cfg.tenancy.enabled = knobs.tenancyOn;
+        cfg.tenancy.autoRegister = true;
+        cfg.tenancy.defaults.weight = 2;
+        cfg.tenancy.defaults.maxInFlight = 64;
+        cfg.tenancy.defaults.mqueueQuota = 32;
+    }
     core::Runtime rt(s, cfg);
     rdma::RdmaPathModel lp;
     auto &h0 = rt.addAccelerator("g0", gpu0.memory(), lp);
@@ -164,6 +184,8 @@ runFig8bScale(const GoldenKnobs &knobs)
                 int n = idx * 6 + round * 3 + i;
                 m.payload = workload::synthMnist(
                     n % 10, static_cast<std::uint64_t>(n));
+                if (knobs.tenancyOffExplicit || knobs.tenancyOn)
+                    m.tenant = static_cast<std::uint16_t>(idx + 1);
                 co_await clientNic.send(std::move(m));
             }
             for (int i = 0; i < 3; ++i) {
@@ -218,6 +240,27 @@ seedStampsCongestion()
         328840,  329090,  337340,  629799,  630049,  638299,
         930758,  931008,  953074,  1259848, 1260098, 1268348,
         1560807, 1561057, 1569307, 1861766, 1862016, 1870266};
+    return stamps;
+}
+
+/**
+ * Captured with the multi-tenant dispatch plane enabled (one tenant
+ * per client, generous quotas) under the serial closed-loop load.
+ * The class-queue + WRR placement hop is deterministic; any shift vs
+ * seedStamps() is the fixed cost of the virtualized path, not
+ * scheduling noise. As captured, the stamps are identical to the
+ * seed: serial load never finds a ring full or a quota exceeded, so
+ * the WRR hop places each message in the same tick it arrived.
+ * A future divergence here means the virtualized fast path gained
+ * a real delay — that is a finding, not noise.
+ */
+const std::vector<sim::Tick> &
+seedStampsTenancy()
+{
+    static const std::vector<sim::Tick> stamps{
+        328590,  328746,  336902,  629549,  629705,  637861,
+        930508,  930664,  952574,  1259254, 1259410, 1267566,
+        1560213, 1560369, 1568525, 1861172, 1861328, 1869484};
     return stamps;
 }
 
@@ -279,6 +322,23 @@ TEST(EngineGolden, CongestionOnSerialLoadMatchesCongestionGolden)
     GoldenRun run = runFig8bScale(knobs);
     printStamps("congestion", run);
     EXPECT_EQ(run.stamps, seedStampsCongestion());
+}
+
+TEST(EngineGolden, DisabledTenancyConfigMatchesSeedTimestamps)
+{
+    GoldenKnobs knobs;
+    knobs.tenancyOffExplicit = true;
+    GoldenRun run = runFig8bScale(knobs);
+    EXPECT_EQ(run.stamps, seedStamps());
+}
+
+TEST(EngineGolden, TenancyOnSerialLoadMatchesTenancyGolden)
+{
+    GoldenKnobs knobs;
+    knobs.tenancyOn = true;
+    GoldenRun run = runFig8bScale(knobs);
+    printStamps("tenancy", run);
+    EXPECT_EQ(run.stamps, seedStampsTenancy());
 }
 
 TEST(EngineGolden, BatchingPlusTracingMatchesSeedBatchedTimestamps)

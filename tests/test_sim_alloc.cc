@@ -24,6 +24,7 @@
 #include <new>
 #include <vector>
 
+#include "lynx/tenant.hh"
 #include "net/message.hh"
 #include "net/network.hh"
 #include "net/nic.hh"
@@ -213,6 +214,53 @@ TEST(AllocFreeHotPath, HotEventShapesFitInline)
     static_assert(sim::EventFn::fitsInline<decltype(deliverFn)>);
     static_assert(sizeof(net::Message) == 64);
     SUCCEED();
+}
+
+/** The per-message tenant accounting path — admission, ring-tag
+ *  quota notes, WRR picks and generation-checked finishes — must
+ *  never build a `tenant.<id>.*` metric name or touch the registry:
+ *  every handle is resolved once at registration (lynx/tenant.hh).
+ *  Registration itself may allocate; the cycle after warmup must
+ *  not. */
+TEST(AllocFreeHotPath, TenantAccountingHotPathDoesNotAllocate)
+{
+#if defined(LYNX_POOL_PASSTHROUGH)
+    GTEST_SKIP() << "pool passthrough lane";
+#else
+    sim::Simulator s;
+    core::TenantConfig cfg;
+    cfg.enabled = true;
+    cfg.autoRegister = false;
+    core::TenantTable table(s, cfg);
+    core::TenantQuota q;
+    q.weight = 3;
+    q.maxInFlight = 8;
+    q.mqueueQuota = 4;
+    core::TenantId a = table.add(q);
+    core::TenantId b = table.add();
+    core::WrrPicker wrr;
+
+    auto cycle = [&] {
+        table.admit(a);
+        table.admit(b);
+        table.noteTagAlloc(a);
+        (void)table.belowTagQuota(a);
+        table.noteTagRelease(a);
+        wrr.pick(2, [&](std::size_t i) {
+            return table.weight(static_cast<core::TenantId>(i + 1));
+        });
+        table.finish(a, table.generation(a), 3_us);
+        table.finish(b, table.generation(b), 3_us);
+    };
+    for (int i = 0; i < 64; ++i) // fill histogram buckets, WRR credit
+        cycle();
+    const std::uint64_t before = g_allocCount;
+    for (int i = 0; i < 512; ++i)
+        cycle();
+    EXPECT_EQ(g_allocCount - before, 0u)
+        << "tenant accounting hot path allocated "
+        << (g_allocCount - before) << " times over 512 cycles";
+#endif
 }
 
 TEST(AllocFreeHotPath, PoolRecyclesBlocks)
