@@ -27,6 +27,7 @@
 #include "lynx/snic_mqueue.hh"
 #include "lynx/tenant.hh"
 #include "net/message.hh"
+#include "net/steering.hh"
 #include "sim/co.hh"
 #include "sim/processor.hh"
 #include "sim/stats.hh"
@@ -42,6 +43,28 @@ enum class DispatchPolicy
     /** Steer by client address hash (stateful services: one client
      *  always lands on the same mqueue). */
     SourceHash,
+
+    /** Toeplitz-hash RSS over the (src, dst, ports) flow tuple
+     *  through an indirection table (net/steering.hh) — the steering
+     *  decision commodity NIC hardware makes, so per-flow affinity
+     *  here matches what a real deployment would see. */
+    Rss,
+};
+
+/** Dispatch-plane admission control (the untenanted path; tenants
+ *  carry their own SLA caps in the TenantTable). */
+struct AdmissionConfig
+{
+    /** Master switch. Off (default): the seed path, bit-identical —
+     *  overload is absorbed by ring overflow / PFC alone. */
+    bool enabled = false;
+
+    /** Shed an arrival when in-flight ring tags across the service's
+     *  usable mqueues have reached this fraction of their total tag
+     *  capacity. Sheds are counted (`admission.<svc>.shed_ring_full`
+     *  plus `tenant.table.untenanted_rejected` when a TenantTable
+     *  exists) — never silent. */
+    double shedOccupancy = 0.9;
 };
 
 /** Dispatcher behaviour switches. */
@@ -67,6 +90,12 @@ struct DispatcherConfig
      *  bit-identical timing; messages with tenant id 0 always take
      *  the seed path either way. */
     TenantTable *tenants = nullptr;
+
+    /** RSS indirection-table shape for DispatchPolicy::Rss. */
+    net::steer::RssConfig rss = {};
+
+    /** Dispatch-plane admission control (untenanted path). */
+    AdmissionConfig admission = {};
 };
 
 /** Dispatches one service's ingress traffic to its mqueues. */
@@ -85,13 +114,18 @@ class Dispatcher
           cBatchFlushes_(&stats_.counter("batch_flushes")),
           cRequeued_(&stats_.counter("requeued")),
           cDroppedTenantReject_(
-              &stats_.counter("dropped_tenant_reject"))
+              &stats_.counter("dropped_tenant_reject")),
+          rss_(cfg_.rss),
+          cSteerPicks_(&steerStats_.counter("rss_picks")),
+          cSteerFallbacks_(&steerStats_.counter("rss_fallbacks")),
+          cAdmitted_(&admissionStats_.counter("admitted")),
+          cShed_(&admissionStats_.counter("shed_ring_full"))
     {}
 
     Dispatcher(std::string name, DispatchPolicy policy,
                sim::Tick dispatchCpu)
         : Dispatcher(std::move(name), policy,
-                     DispatcherConfig{dispatchCpu, 1})
+                     DispatcherConfig{.dispatchCpu = dispatchCpu})
     {}
 
     Dispatcher(const Dispatcher &) = delete;
@@ -150,6 +184,20 @@ class Dispatcher
             // pays for it.
             co_await dispatchTenant(core, std::move(msg));
             co_return;
+        }
+        if (cfg_.admission.enabled) {
+            if (!admitUntenanted()) {
+                // Shed at the dispatch plane instead of letting the
+                // overload deepen the rings: counted here and, when
+                // the runtime is tenant-aware, in the TenantTable's
+                // reject ledger — the client sees a timeout, the
+                // operator sees a number (never a silent loss).
+                cShed_->add();
+                if (cfg_.tenants)
+                    cfg_.tenants->rejectedUntenanted();
+                co_return;
+            }
+            cAdmitted_->add();
         }
         std::size_t qi = pickIndex(msg);
         if (qi == kNoQueue) {
@@ -328,6 +376,14 @@ class Dispatcher
     }
 
     sim::StatSet &stats() { return stats_; }
+
+    /** RSS steering stats (`steer.<svc>`): picks and dead-home
+     *  fallbacks. All zero unless the policy is Rss. */
+    sim::StatSet &steerStats() { return steerStats_; }
+
+    /** Admission stats (`admission.<svc>`): admitted vs shed. All
+     *  zero unless AdmissionConfig::enabled. */
+    sim::StatSet &admissionStats() { return admissionStats_; }
 
     /** @{ @name Tenant traffic classes (lynx/tenant.hh)
      *
@@ -548,6 +604,12 @@ class Dispatcher
             }
             return kNoQueue;
           }
+          case DispatchPolicy::Rss:
+            // pickLive re-routes on failover with the same hash; the
+            // cached dst makes the tuple identical so a surviving
+            // flow keeps one home across both paths.
+            rssDst_ = msg.dst;
+            return probeRss(msg.src, msg.dst);
         }
         return 0;
     }
@@ -575,8 +637,51 @@ class Dispatcher
             }
             return kNoQueue;
           }
+          case DispatchPolicy::Rss:
+            return probeRss(client.addr, rssDst_);
         }
         return kNoQueue;
+    }
+
+    /** RSS home queue + linear probe over usable queues. The hash is
+     *  the real Toeplitz over the flow tuple (net/steering.hh), so a
+     *  flow's mqueue matches what RSS hardware would pick; every
+     *  steering decision is counted, fallbacks (home dead) too. */
+    std::size_t
+    probeRss(const net::Address &src, const net::Address &dst)
+    {
+        std::size_t home = rss_.pick(src, dst, queues_.size());
+        for (std::size_t i = 0; i < queues_.size(); ++i) {
+            std::size_t qi = (home + i) % queues_.size();
+            if (!usable(qi))
+                continue;
+            cSteerPicks_->add();
+            if (i != 0)
+                cSteerFallbacks_->add();
+            return qi;
+        }
+        return kNoQueue;
+    }
+
+    /** Occupancy gate of the untenanted admission path: sum in-flight
+     *  ring tags over the usable mqueues against their tag capacity.
+     *  Pure arithmetic — no suspension — so enabling admission under
+     *  uncongested load perturbs no timestamps. */
+    bool
+    admitUntenanted() const
+    {
+        std::size_t used = 0;
+        std::size_t cap = 0;
+        for (std::size_t qi = 0; qi < queues_.size(); ++qi) {
+            if (!usable(qi))
+                continue;
+            used += queues_[qi]->tagsInFlight();
+            cap += queues_[qi]->tagCapacity();
+        }
+        if (cap == 0)
+            return false; // nothing usable: shed, counted
+        return static_cast<double>(used) <
+               cfg_.admission.shedOccupancy * static_cast<double>(cap);
     }
 
     std::string name_;
@@ -609,6 +714,21 @@ class Dispatcher
     sim::Counter *cBatchFlushes_;
     sim::Counter *cRequeued_;
     sim::Counter *cDroppedTenantReject_;
+
+    /** RSS steering state (policy Rss only; the table itself is
+     *  cheap enough to sit here unconditionally). */
+    net::steer::RssSteering rss_;
+    /** Destination of the most recent RSS dispatch, so failover
+     *  re-routing (pickLive has no ingress message) hashes the same
+     *  flow tuple the original decision did. */
+    net::Address rssDst_{};
+
+    sim::StatSet steerStats_;
+    sim::StatSet admissionStats_;
+    sim::Counter *cSteerPicks_;
+    sim::Counter *cSteerFallbacks_;
+    sim::Counter *cAdmitted_;
+    sim::Counter *cShed_;
 };
 
 } // namespace lynx::core

@@ -49,8 +49,11 @@ Runtime::Runtime(sim::Simulator &sim, RuntimeConfig cfg)
 Runtime::~Runtime()
 {
     sim_.metrics().remove(stats_);
-    for (auto &svc : services_)
+    for (auto &svc : services_) {
         sim_.metrics().remove(svc->dispatcher().stats());
+        sim_.metrics().remove(svc->dispatcher().steerStats());
+        sim_.metrics().remove(svc->dispatcher().admissionStats());
+    }
 }
 
 AccelHandle &
@@ -87,12 +90,17 @@ Runtime::addService(ServiceConfig scfg)
     services_.push_back(std::make_unique<Service>(
         scfg, ep,
         DispatcherConfig{cfg_.dispatchCpu, cfg_.dispatchMaxBatch,
-                         cfg_.failover.enabled, tenants_.get()}));
+                         cfg_.failover.enabled, tenants_.get(),
+                         cfg_.rss, cfg_.admission}));
     Service &svc = *services_.back();
     // The Dispatcher itself carries no Simulator reference; its owner
     // registers the stats on its behalf (removed in ~Runtime).
     sim_.metrics().add("lynx.dispatch." + scfg.name,
                        svc.dispatcher().stats());
+    sim_.metrics().add("steer." + scfg.name,
+                       svc.dispatcher().steerStats());
+    sim_.metrics().add("admission." + scfg.name,
+                       svc.dispatcher().admissionStats());
 
     for (auto &accel : accels_) {
         if (!scfg.accels.empty() &&

@@ -259,6 +259,19 @@ struct RuntimeConfig
      *  event-driven class-queue drain task per service. Off
      *  (default) = seed behaviour, bit-identical. */
     TenantConfig tenancy;
+
+    /** RSS indirection-table shape shared by every service running
+     *  DispatchPolicy::Rss (net/steering.hh). Inert — a pure config
+     *  copy — for other policies. */
+    net::steer::RssConfig rss;
+
+    /** Dispatch-plane admission control for untenanted traffic:
+     *  when enabled, arrivals beyond the ring-tag occupancy
+     *  threshold are shed with counted rejects
+     *  (`admission.<svc>.shed_ring_full`) instead of deepening the
+     *  rings until PFC or overflow bites. Off (default) = seed
+     *  behaviour, bit-identical. */
+    AdmissionConfig admission;
 };
 
 /** The SNIC-resident Lynx runtime. */

@@ -258,6 +258,10 @@ class SnicMqueue
     {
         return tags_.size() - freeTags_.size();
     }
+
+    /** @return total tag-table capacity — the denominator of the
+     *  occupancy fraction admission control sheds on. */
+    std::size_t tagCapacity() const { return tags_.size(); }
     /** @} */
 
     /** @{ Transport health (fault injection + failover).

@@ -11,7 +11,8 @@ TenantTable::TenantTable(sim::Simulator &sim, TenantConfig cfg)
     : sim_(sim), cfg_(cfg),
       cAdded_(&stats_.counter("added")),
       cRetired_(&stats_.counter("retired")),
-      cAutoRegistered_(&stats_.counter("auto_registered"))
+      cAutoRegistered_(&stats_.counter("auto_registered")),
+      cUntenantedRejected_(&stats_.counter("untenanted_rejected"))
 {
     sim_.metrics().add("tenant.table", stats_);
 }

@@ -1,0 +1,256 @@
+/**
+ * @file
+ * Flow steering primitives for cluster-scale serving (ROADMAP item 1):
+ *
+ *  - Toeplitz-hash RSS (receive-side scaling), the hash every
+ *    commodity NIC — Bluefield included — computes over the flow
+ *    tuple to spread ingress flows across RX queues. Implemented
+ *    bit-exactly against Microsoft's published verification suite
+ *    ("Verifying the RSS Hash Calculation"), so the steering decision
+ *    here is the one the real hardware would make.
+ *
+ *  - RssSteering: hash -> indirection-table slot -> worker mqueue,
+ *    the per-service policy the dispatcher consults when a service
+ *    runs with DispatchPolicy::Rss.
+ *
+ *  - ConsistentHashRing: virtual-node consistent hashing, the
+ *    client/router-side companion that spreads keys (logical client
+ *    ids, KV shards) across *machines* such that membership changes
+ *    move only the departed node's arc.
+ *
+ * Everything here is pure computation — no simulator state, no
+ * events — so enabling it never moves unrelated timestamps.
+ */
+
+#ifndef LYNX_NET_STEERING_HH
+#define LYNX_NET_STEERING_HH
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "net/message.hh"
+#include "sim/logging.hh"
+
+namespace lynx::net::steer {
+
+/** Microsoft's default 40-byte RSS secret key (the one the published
+ *  known-answer vectors are computed with). */
+inline constexpr std::array<std::uint8_t, 40> kDefaultRssKey = {
+    0x6d, 0x5a, 0x56, 0xda, 0x25, 0x5b, 0x0e, 0xc2, 0x41, 0x67,
+    0x25, 0x3d, 0x43, 0xa3, 0x8f, 0xb0, 0xd0, 0xca, 0x2b, 0xcb,
+    0xae, 0x7b, 0x30, 0xb4, 0x77, 0xcb, 0x2d, 0xa3, 0x80, 0x30,
+    0xf2, 0x0c, 0x6a, 0x42, 0xb7, 0x3b, 0xbe, 0xac, 0x01, 0xfa};
+
+/**
+ * The Toeplitz hash: for every set bit (MSB first) of @p input at bit
+ * position p, XOR in the 32-bit window of @p key starting at bit p.
+ * @p key must be long enough to supply input-bits + 32 key bits.
+ */
+inline std::uint32_t
+toeplitzHash(std::span<const std::uint8_t> key,
+             std::span<const std::uint8_t> input)
+{
+    LYNX_ASSERT(key.size() * 8 >= input.size() * 8 + 32,
+                "Toeplitz key too short for input");
+    std::uint32_t hash = 0;
+    // 64-bit sliding window over the key: the top 32 bits are always
+    // the key window of the input bit currently being consumed.
+    std::uint64_t window = 0;
+    for (std::size_t i = 0; i < 8; ++i)
+        window = (window << 8) | key[i];
+    std::size_t keyIdx = 8;
+    for (std::uint8_t byte : input) {
+        for (int b = 0; b < 8; ++b) {
+            if (byte & 0x80)
+                hash ^= static_cast<std::uint32_t>(window >> 32);
+            window <<= 1;
+            byte = static_cast<std::uint8_t>(byte << 1);
+        }
+        // Refill the 8 bits the shifts vacated with the next key byte.
+        if (keyIdx < key.size())
+            window |= key[keyIdx++];
+    }
+    return hash;
+}
+
+/**
+ * RSS hash of an IPv4-style 4-tuple, using the canonical input layout
+ * (src addr, dst addr, src port, dst port — each big-endian), so the
+ * published test vectors apply directly. In this simulation the
+ * 32-bit node id plays the role of the IPv4 address.
+ *
+ * Both UDP and TCP hash the same 4-tuple here (real NICs do this for
+ * TCP always, and for UDP when UDP-RSS hashing is enabled — the
+ * deployment mode that makes sense for a UDP request/response
+ * server).
+ */
+inline std::uint32_t
+rssHash(std::uint32_t srcAddr, std::uint16_t srcPort,
+        std::uint32_t dstAddr, std::uint16_t dstPort,
+        std::span<const std::uint8_t> key = kDefaultRssKey)
+{
+    std::array<std::uint8_t, 12> in = {
+        static_cast<std::uint8_t>(srcAddr >> 24),
+        static_cast<std::uint8_t>(srcAddr >> 16),
+        static_cast<std::uint8_t>(srcAddr >> 8),
+        static_cast<std::uint8_t>(srcAddr),
+        static_cast<std::uint8_t>(dstAddr >> 24),
+        static_cast<std::uint8_t>(dstAddr >> 16),
+        static_cast<std::uint8_t>(dstAddr >> 8),
+        static_cast<std::uint8_t>(dstAddr),
+        static_cast<std::uint8_t>(srcPort >> 8),
+        static_cast<std::uint8_t>(srcPort),
+        static_cast<std::uint8_t>(dstPort >> 8),
+        static_cast<std::uint8_t>(dstPort),
+    };
+    return toeplitzHash(key, in);
+}
+
+/** 2-tuple (addresses only) variant — what NICs fall back to for
+ *  non-TCP traffic without UDP hashing; exposed for the published
+ *  IPv4-only test vectors. */
+inline std::uint32_t
+rssHash2(std::uint32_t srcAddr, std::uint32_t dstAddr,
+         std::span<const std::uint8_t> key = kDefaultRssKey)
+{
+    std::array<std::uint8_t, 8> in = {
+        static_cast<std::uint8_t>(srcAddr >> 24),
+        static_cast<std::uint8_t>(srcAddr >> 16),
+        static_cast<std::uint8_t>(srcAddr >> 8),
+        static_cast<std::uint8_t>(srcAddr),
+        static_cast<std::uint8_t>(dstAddr >> 24),
+        static_cast<std::uint8_t>(dstAddr >> 16),
+        static_cast<std::uint8_t>(dstAddr >> 8),
+        static_cast<std::uint8_t>(dstAddr),
+    };
+    return toeplitzHash(key, in);
+}
+
+/** RSS steering knobs of one service. */
+struct RssConfig
+{
+    /** Indirection-table entries (a power of two; 128 is the
+     *  ubiquitous hardware default). The hash's low bits select an
+     *  entry; the default table maps entry i to queue i % nQueues —
+     *  exactly the round-robin-filled table drivers program. */
+    std::uint32_t indirectionSize = 128;
+};
+
+/**
+ * Hash -> indirection-table -> queue, per service. Stateless beyond
+ * its config: the same tuple always lands on the same queue for a
+ * given queue count, which is what makes the mapping stable across
+ * the dispatcher's ingress and failover-requeue paths.
+ */
+class RssSteering
+{
+  public:
+    explicit RssSteering(RssConfig cfg = {}) : cfg_(cfg)
+    {
+        LYNX_ASSERT(cfg_.indirectionSize > 0 &&
+                        (cfg_.indirectionSize &
+                         (cfg_.indirectionSize - 1)) == 0,
+                    "RSS indirection table size must be a power of two");
+    }
+
+    /** @return the steered queue index in [0, nQueues). */
+    std::size_t
+    pick(const Address &src, const Address &dst,
+         std::size_t nQueues) const
+    {
+        LYNX_ASSERT(nQueues > 0, "RSS pick over zero queues");
+        std::uint32_t h = rssHash(src.node, src.port, dst.node,
+                                  dst.port);
+        std::uint32_t slot = h & (cfg_.indirectionSize - 1);
+        return slot % nQueues;
+    }
+
+    const RssConfig &config() const { return cfg_; }
+
+  private:
+    RssConfig cfg_;
+};
+
+/**
+ * Consistent hashing with virtual nodes: each member id is placed at
+ * `vnodes` pseudo-random points on a 64-bit ring; a key routes to the
+ * first point clockwise. Removing a member moves only the keys that
+ * routed to it — the property the cluster bench leans on to reshard
+ * backends without a thundering herd.
+ */
+class ConsistentHashRing
+{
+  public:
+    explicit ConsistentHashRing(int vnodes = 128) : vnodes_(vnodes)
+    {
+        LYNX_ASSERT(vnodes_ > 0, "ring needs at least one vnode");
+    }
+
+    /** Add member @p id (must not already be present). */
+    void
+    add(std::uint64_t id)
+    {
+        for (int r = 0; r < vnodes_; ++r)
+            ring_.push_back({point(id, r), id});
+        std::sort(ring_.begin(), ring_.end());
+        ++members_;
+    }
+
+    /** Remove member @p id (all its arcs). */
+    void
+    remove(std::uint64_t id)
+    {
+        auto end = std::remove_if(
+            ring_.begin(), ring_.end(),
+            [id](const auto &p) { return p.second == id; });
+        LYNX_ASSERT(end != ring_.end(), "removing unknown ring member");
+        ring_.erase(end, ring_.end());
+        --members_;
+    }
+
+    /** @return the member owning @p key. */
+    std::uint64_t
+    route(std::uint64_t key) const
+    {
+        LYNX_ASSERT(!ring_.empty(), "routing on an empty ring");
+        std::uint64_t h = mix(key);
+        auto it = std::lower_bound(
+            ring_.begin(), ring_.end(),
+            std::pair<std::uint64_t, std::uint64_t>{h, 0});
+        if (it == ring_.end())
+            it = ring_.begin(); // wrap past the top of the ring
+        return it->second;
+    }
+
+    /** @return current member count. */
+    std::size_t size() const { return members_; }
+
+  private:
+    /** splitmix64 finalizer: cheap, well-distributed, deterministic. */
+    static std::uint64_t
+    mix(std::uint64_t x)
+    {
+        x += 0x9e3779b97f4a7c15ull;
+        x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+        x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+        return x ^ (x >> 31);
+    }
+
+    static std::uint64_t
+    point(std::uint64_t id, int replica)
+    {
+        return mix(mix(id) ^
+                   mix(static_cast<std::uint64_t>(replica) + 1));
+    }
+
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> ring_;
+    int vnodes_;
+    std::size_t members_ = 0;
+};
+
+} // namespace lynx::net::steer
+
+#endif // LYNX_NET_STEERING_HH

@@ -11,6 +11,24 @@
  *  - open loop: Poisson arrivals at a target rate — measures latency
  *    under a fixed offered load (and loss under overload).
  *
+ * The open loop is scheduled on *absolute intended send times*: each
+ * request's slot in the Poisson schedule is drawn up front, and its
+ * latency is measured from that intended time, whether or not the
+ * client NIC could actually transmit on schedule. A backpressured
+ * sender (PFC pause, saturated link) therefore *raises* the recorded
+ * tail instead of silently stretching the inter-arrival gaps — the
+ * classic coordinated-omission bug this file used to have.
+ *
+ * Open-loop requests carry per-request timeout accounting with an
+ * exact conservation invariant over in-window requests:
+ *
+ *     sent == completed + windowValidationFailures
+ *                       + late + lost + openInFlight
+ *
+ * where `lost` requests expired unanswered, `late` ones were answered
+ * after their deadline (excluded from the latency sample), and
+ * `openInFlight` are still awaiting a response or expiry.
+ *
  * Latency is computed from the request timestamp echoed back in the
  * response (Message::sentAt), recorded into an HDR histogram inside
  * the measurement window only.
@@ -20,9 +38,13 @@
 #define LYNX_WORKLOAD_LOADGEN_HH
 
 #include <cstdint>
+#include <deque>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "net/message.hh"
@@ -32,6 +54,7 @@
 #include "sim/random.hh"
 #include "sim/simulator.hh"
 #include "sim/stats.hh"
+#include "sim/sync.hh"
 #include "sim/task.hh"
 #include "sim/time.hh"
 
@@ -71,14 +94,45 @@ struct LoadGenConfig
             return std::vector<std::uint8_t>(64, 0x42);
         };
 
-    /** Optional response checker (counts failures). */
+    /** Optional response checker. Failed responses are counted and
+     *  excluded from completions and the latency sample. */
     std::function<bool(const net::Message &resp)> validate;
 
-    /** First client port; worker i uses basePort + i. */
+    /** First client port; closed-loop worker i uses basePort + i,
+     *  open-loop logical client c uses basePort + (c % openPorts). */
     std::uint16_t basePort = 40000;
 
-    /** Closed-loop per-request timeout (lost-datagram recovery). */
+    /** Open loop: size of the client source-port pool. Each port is
+     *  a distinct flow for RSS steering; logical clients multiplex
+     *  onto the pool. The pool [basePort, basePort+openPorts) must
+     *  fit in 16 bits — construction fails fast otherwise, exactly
+     *  like an over-wide closed-loop worker range. */
+    int openPorts = 1;
+
+    /** Open loop: logical client population. Each request is issued
+     *  by a uniformly drawn client whose identity fixes its source
+     *  port (flow) and its routeTarget key — millions of clients
+     *  without millions of endpoints. 0 = one client per pool port. */
+    std::uint64_t logicalClients = 0;
+
+    /** Per-request timeout. Closed loop: lost-datagram recovery.
+     *  Open loop: a request unanswered this long after its *intended*
+     *  send time counts `lost` (a response arriving later moves it to
+     *  `late`); both are excluded from the latency sample. */
     sim::Tick requestTimeout = sim::milliseconds(20);
+
+    /** SLO bound for goodput accounting: completions with latency <=
+     *  slo count toward goodput(). 0 = no bound (goodput == completed). */
+    sim::Tick slo = 0;
+
+    /** Open loop: per-request target override keyed by logical client
+     *  (cluster routing, e.g. a consistent-hash ring over machines).
+     *  Unset = every request goes to `target`. */
+    std::function<net::Address(std::uint64_t clientId)> routeTarget;
+
+    /** Open loop: per-request tenant override keyed by logical
+     *  client. Unset = the fixed `tenant` below. */
+    std::function<std::uint16_t(std::uint64_t clientId)> tenantOf;
 
     /** Mean exponential think time between closed-loop requests
      *  (0 = none). Decorrelates workers for latency measurements. */
@@ -113,25 +167,74 @@ class LoadGen
         return cfg_.warmup + cfg_.duration + cfg_.drain;
     }
 
-    /** @return response latency histogram (ns), window-only. */
+    /** @return response latency histogram (ns), window-only. In open
+     *  loop, latencies are measured from the *intended* send time. */
     const sim::Histogram &latency() const { return latency_; }
 
-    /** @return responses completed inside the window. */
+    /** @return validated responses completed inside the window (open
+     *  loop: before their deadline). */
     std::uint64_t completed() const { return completed_; }
 
-    /** @return requests sent inside the window. */
+    /** @return requests sent inside the window (open loop: requests
+     *  whose *intended* send time lies in the window). */
     std::uint64_t sent() const { return sent_; }
 
-    /** @return responses that failed validation. */
+    /** @return responses that failed validation (any window). */
     std::uint64_t validationFailures() const { return failures_; }
 
-    /** @return request timeouts observed (closed loop only). */
+    /** @return in-window responses that failed validation (the
+     *  conservation term). */
+    std::uint64_t
+    windowValidationFailures() const
+    {
+        return failuresWindow_;
+    }
+
+    /** @return request timeouts: closed-loop unanswered requests plus
+     *  open-loop in-window requests that passed their deadline. */
     std::uint64_t timeouts() const { return timeouts_; }
+
+    /** @return open-loop in-window requests that expired and were
+     *  never answered. */
+    std::uint64_t lost() const { return lost_; }
+
+    /** @return open-loop in-window requests answered *after* their
+     *  deadline (excluded from the latency sample). */
+    std::uint64_t late() const { return late_; }
+
+    /** @return completions within the SLO bound (== completed() when
+     *  no SLO is configured). */
+    std::uint64_t goodput() const { return goodput_; }
+
+    /** @return open-loop in-window requests still awaiting a response
+     *  or expiry. */
+    std::uint64_t
+    openInFlight() const
+    {
+        std::uint64_t n = 0;
+        for (const auto &[seq, req] : outstanding_)
+            n += req.inWindow ? 1 : 0;
+        return n;
+    }
+
+    /** @return whether the open-loop books balance exactly:
+     *  sent == completed + windowValidationFailures + late + lost +
+     *  openInFlight. The terms are maintained independently (send
+     *  path, receive path, expiry sweeper), so a hole in any of them
+     *  breaks the balance — this is a real invariant, not an
+     *  identity. */
+    bool
+    conservationHolds() const
+    {
+        return sent_ == completed_ + failuresWindow_ + late_ + lost_ +
+                            openInFlight();
+    }
 
     /** @return closed-loop responses discarded because their echoed
      *  seq did not match the outstanding request (a reply outliving
      *  its requestTimeout must not be attributed to the *next*
-     *  request's latency sample). */
+     *  request's latency sample), plus open-loop responses matching
+     *  no outstanding or expired request (e.g. duplicates). */
     std::uint64_t
     staleResponses() const
     {
@@ -151,6 +254,13 @@ class LoadGen
     }
 
   private:
+    /** One in-flight open-loop request. */
+    struct OpenReq
+    {
+        sim::Tick intendedAt = 0;
+        bool inWindow = false;
+    };
+
     bool
     inWindow(sim::Tick t) const
     {
@@ -160,10 +270,12 @@ class LoadGen
     bool issuing() const { return sim_.now() < cfg_.warmup + cfg_.duration; }
 
     void recordResponse(const net::Message &resp);
+    void recordOpenResponse(const net::Message &resp);
 
     sim::Task closedWorker(int idx);
     sim::Task openSender();
     sim::Task openReceiver(net::Endpoint &ep);
+    sim::Task openExpiry();
 
     sim::Simulator &sim_;
     LoadGenConfig cfg_;
@@ -174,7 +286,25 @@ class LoadGen
     std::uint64_t completed_ = 0;
     std::uint64_t sent_ = 0;
     std::uint64_t failures_ = 0;
+    std::uint64_t failuresWindow_ = 0;
     std::uint64_t timeouts_ = 0;
+    std::uint64_t lost_ = 0;
+    std::uint64_t late_ = 0;
+    std::uint64_t goodput_ = 0;
+
+    /** Open-loop request table: seq -> in-flight request. Every entry
+     *  also has a deadline queued in expiry_ (deadlines are monotonic
+     *  because intended times are). */
+    std::unordered_map<std::uint64_t, OpenReq> outstanding_;
+    /** Expired-but-unanswered requests (value: inWindow), kept so a
+     *  straggler response classifies as `late`, not stale. */
+    std::unordered_map<std::uint64_t, bool> expired_;
+    std::deque<std::pair<std::uint64_t, sim::Tick>> expiry_;
+    std::unique_ptr<sim::Gate> expiryGate_;
+    /** The open sender drew its whole schedule (under backpressure
+     *  this can be well after the window closes). */
+    bool senderDone_ = false;
+
     sim::StatSet stats_;
     sim::Counter *cStaleResponses_;
 };

@@ -71,6 +71,18 @@ struct GoldenKnobs
      *  class-queue + WRR placement path — pinned to its own
      *  golden. */
     bool tenancyOn = false;
+
+    /** Pass a populated RSS config plus a populated-but-disabled
+     *  admission config while the policy stays RoundRobin: the
+     *  contract is that carrying steering/admission configuration
+     *  without engaging it is bit-identical to the seed. */
+    bool steerAdmitOffExplicit = false;
+
+    /** Admission control ON with a threshold the serial closed-loop
+     *  load never reaches: the occupancy gate is pure arithmetic on
+     *  the dispatch path (no suspension), so even *enabled* admission
+     *  must not move a single timestamp while nothing sheds. */
+    bool admissionOnSerial = false;
 };
 
 struct GoldenRun
@@ -137,6 +149,17 @@ runFig8bScale(const GoldenKnobs &knobs)
         cfg.tenancy.defaults.weight = 2;
         cfg.tenancy.defaults.maxInFlight = 64;
         cfg.tenancy.defaults.mqueueQuota = 32;
+    }
+    if (knobs.steerAdmitOffExplicit) {
+        // Non-default table shape + admission knobs, master switch
+        // off, policy untouched: must be invisible.
+        cfg.rss.indirectionSize = 256;
+        cfg.admission.enabled = false;
+        cfg.admission.shedOccupancy = 0.5;
+    }
+    if (knobs.admissionOnSerial) {
+        cfg.admission.enabled = true;
+        cfg.admission.shedOccupancy = 0.99;
     }
     core::Runtime rt(s, cfg);
     rdma::RdmaPathModel lp;
@@ -348,6 +371,24 @@ TEST(EngineGolden, BatchingPlusTracingMatchesSeedBatchedTimestamps)
     knobs.tracing = true;
     GoldenRun run = runFig8bScale(knobs);
     EXPECT_EQ(run.stamps, seedStampsBatched());
+}
+
+TEST(EngineGolden, DisabledSteeringAdmissionConfigMatchesSeedTimestamps)
+{
+    GoldenKnobs knobs;
+    knobs.steerAdmitOffExplicit = true;
+    GoldenRun run = runFig8bScale(knobs);
+    EXPECT_EQ(run.stamps, seedStamps());
+}
+
+TEST(EngineGolden, AdmissionOnSerialLoadMatchesSeedTimestamps)
+{
+    // The occupancy gate never suspends: with the threshold out of
+    // reach, enabled admission is arithmetic the timeline cannot see.
+    GoldenKnobs knobs;
+    knobs.admissionOnSerial = true;
+    GoldenRun run = runFig8bScale(knobs);
+    EXPECT_EQ(run.stamps, seedStamps());
 }
 
 } // namespace

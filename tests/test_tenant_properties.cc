@@ -105,8 +105,9 @@ TEST(WrrProperties, WorkConservingUnderRandomEligibility)
                     << "picked an ineligible entry";
                 // A lone eligible entry is always the winner,
                 // no matter how starved its credit is.
-                if ((mask & (mask - 1)) == 0)
+                if ((mask & (mask - 1)) == 0) {
                     EXPECT_EQ(mask, 1ull << i);
+                }
             }
         }
     }
@@ -338,7 +339,7 @@ TEST(TenantDispatchProperties, MqueueQuotaNeverExceeded)
         SnicMqueue mq(r.s, "mq", r.qp, r.layout, MqueueKind::Server, mcfg);
         AccelQueue gio(r.s, "gio", r.mem, r.layout);
         Dispatcher d("d", DispatchPolicy::RoundRobin,
-                     DispatcherConfig{0, 1, false, &table});
+                     DispatcherConfig{.tenants = &table});
         d.addQueue(&mq);
 
         // Random interleaving of each tenant's kPerTenant arrivals.
@@ -420,7 +421,7 @@ TEST(TenantDispatchProperties, DispatchOrderFollowsWeights)
     SnicMqueue mq(r.s, "mq", r.qp, r.layout, MqueueKind::Server, mcfg);
     AccelQueue gio(r.s, "gio", r.mem, r.layout);
     Dispatcher d("d", DispatchPolicy::RoundRobin,
-                 DispatcherConfig{0, 1, false, &table});
+                 DispatcherConfig{.tenants = &table});
     d.addQueue(&mq);
 
     constexpr int kPerTenant = 24;
@@ -490,7 +491,7 @@ TEST(TenantDispatchProperties, WorkConservingWhenOnlyOneTenantHasWork)
     SnicMqueue mq(r.s, "mq", r.qp, r.layout, MqueueKind::Server, mcfg);
     AccelQueue gio(r.s, "gio", r.mem, r.layout);
     Dispatcher d("d", DispatchPolicy::RoundRobin,
-                 DispatcherConfig{0, 1, false, &table});
+                 DispatcherConfig{.tenants = &table});
     d.addQueue(&mq);
 
     constexpr int kMsgs = 20;

@@ -1,0 +1,412 @@
+/**
+ * @file
+ * Open-loop load generator tests: the coordinated-omission fix
+ * (latency measured from *intended* send times), per-request timeout
+ * and loss accounting with its exact conservation invariant, SLO
+ * goodput, the source-port pool, and the fail-fast port-range checks.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "net/network.hh"
+#include "sim/fault.hh"
+#include "sim/simulator.hh"
+#include "sim/task.hh"
+#include "workload/loadgen.hh"
+
+using namespace lynx;
+using namespace lynx::sim::literals;
+
+namespace {
+
+/** A fixed-service-time echo server (records source ports seen). */
+struct EchoService
+{
+    sim::Simulator &s;
+    net::Nic &nic;
+    sim::Tick serviceTime;
+    std::set<std::uint16_t> srcPorts = {};
+
+    void
+    start(std::uint16_t port)
+    {
+        net::Endpoint &ep = nic.bind(net::Protocol::Udp, port);
+        sim::spawn(s, loop(ep, port));
+    }
+
+    sim::Task
+    loop(net::Endpoint &ep, std::uint16_t port)
+    {
+        for (;;) {
+            net::Message m = co_await ep.recv();
+            srcPorts.insert(m.src.port);
+            if (serviceTime)
+                co_await sim::sleep(serviceTime);
+            net::Message r;
+            r.src = {nic.node(), port};
+            r.dst = m.src;
+            r.proto = m.proto;
+            r.payload = m.payload;
+            r.seq = m.seq;
+            r.sentAt = m.sentAt;
+            co_await nic.send(std::move(r));
+        }
+    }
+};
+
+/** One open-loop run against an echo service; returns the generator
+ *  for inspection. The client NIC's link rate is the experiment knob:
+ *  slow links backpressure the sender. */
+struct OpenRun
+{
+    sim::Simulator s;
+    net::Network nw{s};
+    net::Nic &serverNic;
+    net::Nic &clientNic;
+    EchoService svc;
+    workload::LoadGen gen;
+
+    OpenRun(double clientGbps, double rate, sim::Tick timeout,
+            sim::Tick settle)
+        : serverNic(nw.addNic("server")),
+          clientNic(nw.addNic("client", makeCfg(clientGbps))),
+          svc{s, serverNic, 10_us},
+          gen(s, makeGenCfg(rate, timeout))
+    {
+        svc.start(7000);
+        gen.start();
+        s.runUntil(gen.windowEnd() + settle);
+    }
+
+    static net::NicConfig
+    makeCfg(double gbps)
+    {
+        net::NicConfig nc;
+        nc.gbps = gbps;
+        return nc;
+    }
+
+    workload::LoadGenConfig
+    makeGenCfg(double rate, sim::Tick timeout)
+    {
+        workload::LoadGenConfig cfg;
+        cfg.nic = &clientNic;
+        cfg.target = {serverNic.node(), 7000};
+        cfg.openRate = rate;
+        cfg.warmup = 2_ms;
+        cfg.duration = 20_ms;
+        cfg.requestTimeout = timeout;
+        return cfg;
+    }
+};
+
+} // namespace
+
+/**
+ * THE coordinated-omission regression. The old open loop drew the
+ * next Poisson gap only after `co_await nic->send(...)` returned, so
+ * a backpressured NIC silently stretched the schedule and the
+ * recorded tail *improved* under overload. With the schedule pinned
+ * to absolute intended times, a client link too slow for the offered
+ * load must push the recorded tail *up* by the accumulated slip.
+ */
+TEST(OpenLoopCo, BackpressuredNicRaisesRecordedTailNotGaps)
+{
+    // 40 Gb/s: a 64 B request serializes in ~13 ns, no backpressure.
+    OpenRun fast(40.0, 100'000.0, 1_s, 100_ms);
+    // 5 Mb/s: ~102 us per request against a 10 us intended gap; the
+    // sender falls ever further behind its schedule.
+    OpenRun slow(0.005, 100'000.0, 1_s, 900_ms);
+
+    ASSERT_GT(fast.gen.completed(), 100u);
+    ASSERT_GT(slow.gen.completed(), 100u);
+
+    std::uint64_t p99Fast = fast.gen.latency().percentile(99);
+    std::uint64_t p99Slow = slow.gen.latency().percentile(99);
+    // The direction is the regression: under coordinated omission the
+    // backpressured run recorded an (absurd) *lower-or-equal* tail.
+    EXPECT_GT(p99Slow, p99Fast);
+    // And the magnitude is the accumulated schedule slip —
+    // milliseconds, not the microseconds a stretched-gap measurement
+    // would claim.
+    EXPECT_GT(p99Slow, static_cast<std::uint64_t>(5_ms));
+    EXPECT_LT(p99Fast, static_cast<std::uint64_t>(1_ms));
+
+    EXPECT_TRUE(fast.gen.conservationHolds());
+    EXPECT_TRUE(slow.gen.conservationHolds());
+}
+
+TEST(OpenLoopCo, UnstressedScheduleStillHitsTargetRate)
+{
+    OpenRun run(40.0, 50'000.0, 20_ms, 5_ms);
+    EXPECT_NEAR(run.gen.throughputRps(), 50'000.0, 3'000.0);
+    EXPECT_EQ(run.gen.lost(), 0u);
+    EXPECT_EQ(run.gen.late(), 0u);
+    EXPECT_TRUE(run.gen.conservationHolds());
+}
+
+/**
+ * The open-loop books must balance *exactly*, whatever a lossy and
+ * reordering network does: every in-window request ends up in exactly
+ * one of completed / validation-failed / late / lost / in-flight.
+ * The terms are maintained by three independent code paths (sender,
+ * receiver, expiry sweeper), so this is a real invariant.
+ */
+TEST(OpenLoopAccounting, ConservationHoldsUnderFaultsAcrossSeeds)
+{
+    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+        sim::Simulator s;
+        net::Network nw(s);
+        auto &serverNic = nw.addNic("server");
+        auto &clientNic = nw.addNic("client");
+
+        sim::FaultConfig fc;
+        fc.dropRate = 0.15;  // lost requests/responses
+        fc.delayRate = 0.2;  // stragglers past the deadline
+        fc.delayMin = 5_ms;
+        fc.delayMax = 9_ms;
+        fc.seed = seed * 977;
+        sim::FaultPlan faults(fc);
+        nw.setFaultPlan(&faults);
+
+        EchoService svc{s, serverNic, 5_us};
+        svc.start(7000);
+
+        workload::LoadGenConfig cfg;
+        cfg.nic = &clientNic;
+        cfg.target = {serverNic.node(), 7000};
+        cfg.openRate = 20'000.0;
+        cfg.warmup = 2_ms;
+        cfg.duration = 50_ms;
+        cfg.requestTimeout = 3_ms;
+        cfg.seed = seed;
+        workload::LoadGen gen(s, cfg);
+        gen.start();
+        // Far past the window: every deadline has passed and every
+        // straggler has arrived, so nothing is left in flight.
+        s.runUntil(gen.windowEnd() + 50_ms);
+
+        EXPECT_EQ(gen.openInFlight(), 0u) << "seed " << seed;
+        EXPECT_TRUE(gen.conservationHolds())
+            << "seed " << seed << ": sent=" << gen.sent()
+            << " completed=" << gen.completed()
+            << " late=" << gen.late() << " lost=" << gen.lost()
+            << " inFlight=" << gen.openInFlight();
+        EXPECT_EQ(gen.sent(), gen.completed() + gen.late() +
+                                  gen.lost() + gen.openInFlight())
+            << "seed " << seed;
+        // The fault plan actually exercised both loss classes.
+        EXPECT_GT(gen.lost(), 0u) << "seed " << seed;
+        EXPECT_GT(gen.late(), 0u) << "seed " << seed;
+        EXPECT_GT(gen.completed(), 0u) << "seed " << seed;
+        // Timeouts fired for everything that missed its deadline,
+        // answered late or not.
+        EXPECT_EQ(gen.timeouts(), gen.lost() + gen.late())
+            << "seed " << seed;
+    }
+}
+
+TEST(OpenLoopAccounting, LateResponsesStayOutOfTheLatencySample)
+{
+    sim::Simulator s;
+    net::Network nw(s);
+    auto &serverNic = nw.addNic("server");
+    auto &clientNic = nw.addNic("client");
+
+    sim::FaultConfig fc;
+    fc.delayRate = 1.0; // every transfer held back...
+    fc.delayMin = 5_ms; // ...past the 2 ms request timeout
+    fc.delayMax = 8_ms;
+    fc.seed = 7;
+    sim::FaultPlan faults(fc);
+    nw.setFaultPlan(&faults);
+
+    EchoService svc{s, serverNic, 0};
+    svc.start(7000);
+
+    workload::LoadGenConfig cfg;
+    cfg.nic = &clientNic;
+    cfg.target = {serverNic.node(), 7000};
+    cfg.openRate = 5'000.0;
+    cfg.warmup = 0;
+    cfg.duration = 40_ms;
+    cfg.requestTimeout = 2_ms;
+    workload::LoadGen gen(s, cfg);
+    gen.start();
+    s.runUntil(gen.windowEnd() + 60_ms);
+
+    // Round trips are >= 10 ms against a 2 ms deadline: everything
+    // expires first and answers late.
+    EXPECT_EQ(gen.completed(), 0u);
+    EXPECT_EQ(gen.latency().count(), 0u);
+    EXPECT_GT(gen.late(), 0u);
+    EXPECT_EQ(gen.lost(), 0u); // every answer did arrive
+    EXPECT_TRUE(gen.conservationHolds());
+}
+
+TEST(OpenLoopValidation, FailedResponsesAreNotCompletions)
+{
+    sim::Simulator s;
+    net::Network nw(s);
+    auto &serverNic = nw.addNic("server");
+    auto &clientNic = nw.addNic("client");
+    EchoService svc{s, serverNic, 5_us};
+    svc.start(7000);
+
+    workload::LoadGenConfig cfg;
+    cfg.nic = &clientNic;
+    cfg.target = {serverNic.node(), 7000};
+    cfg.openRate = 20'000.0;
+    cfg.warmup = 1_ms;
+    cfg.duration = 30_ms;
+    // Every other response "corrupt": must be counted, not recorded.
+    cfg.validate = [](const net::Message &r) { return r.seq % 2 == 0; };
+    workload::LoadGen gen(s, cfg);
+    gen.start();
+    s.runUntil(gen.windowEnd() + 5_ms);
+
+    EXPECT_GT(gen.validationFailures(), 0u);
+    EXPECT_GT(gen.completed(), 0u);
+    // The exclusion regression: completions and the latency sample
+    // must agree exactly — a failed response contributes to neither.
+    EXPECT_EQ(gen.latency().count(), gen.completed());
+    EXPECT_NEAR(static_cast<double>(gen.windowValidationFailures()),
+                static_cast<double>(gen.completed()),
+                static_cast<double>(gen.sent()) * 0.1);
+    EXPECT_TRUE(gen.conservationHolds());
+}
+
+TEST(ClosedLoopValidation, FailedResponsesAreNotCompletions)
+{
+    sim::Simulator s;
+    net::Network nw(s);
+    auto &serverNic = nw.addNic("server");
+    auto &clientNic = nw.addNic("client");
+    EchoService svc{s, serverNic, 1_us};
+    svc.start(7000);
+
+    workload::LoadGenConfig cfg;
+    cfg.nic = &clientNic;
+    cfg.target = {serverNic.node(), 7000};
+    cfg.concurrency = 2;
+    cfg.warmup = 0;
+    cfg.duration = 10_ms;
+    cfg.validate = [](const net::Message &) { return false; };
+    workload::LoadGen gen(s, cfg);
+    gen.start();
+    s.runUntil(gen.windowEnd() + 2_ms);
+
+    EXPECT_GT(gen.validationFailures(), 0u);
+    // The regression: these used to be counted as completions AND
+    // recorded into the latency histogram.
+    EXPECT_EQ(gen.completed(), 0u);
+    EXPECT_EQ(gen.latency().count(), 0u);
+    EXPECT_EQ(gen.goodput(), 0u);
+}
+
+TEST(OpenLoopSlo, GoodputCountsOnlyWithinSloCompletions)
+{
+    auto run = [](sim::Tick slo) {
+        sim::Simulator s;
+        net::Network nw(s);
+        auto &serverNic = nw.addNic("server");
+        auto &clientNic = nw.addNic("client");
+        EchoService svc{s, serverNic, 100_us};
+        svc.start(7000);
+        workload::LoadGenConfig cfg;
+        cfg.nic = &clientNic;
+        cfg.target = {serverNic.node(), 7000};
+        cfg.openRate = 10'000.0;
+        cfg.warmup = 1_ms;
+        cfg.duration = 30_ms;
+        cfg.slo = slo;
+        workload::LoadGen gen(s, cfg);
+        gen.start();
+        s.runUntil(gen.windowEnd() + 5_ms);
+        return std::pair<std::uint64_t, std::uint64_t>(
+            gen.completed(), gen.goodput());
+    };
+
+    // No SLO: goodput degenerates to completions.
+    auto [cAll, gAll] = run(0);
+    EXPECT_GT(cAll, 100u);
+    EXPECT_EQ(gAll, cAll);
+
+    // SLO below the ~100 us service floor: completions, zero goodput.
+    auto [cTight, gTight] = run(50_us);
+    EXPECT_GT(cTight, 100u);
+    EXPECT_EQ(gTight, 0u);
+
+    // Generous SLO: everything is good again.
+    auto [cLoose, gLoose] = run(10_ms);
+    EXPECT_EQ(gLoose, cLoose);
+}
+
+TEST(OpenLoopPorts, LogicalClientsMultiplexOntoThePortPool)
+{
+    sim::Simulator s;
+    net::Network nw(s);
+    auto &serverNic = nw.addNic("server");
+    auto &clientNic = nw.addNic("client");
+    EchoService svc{s, serverNic, 5_us};
+    svc.start(7000);
+
+    workload::LoadGenConfig cfg;
+    cfg.nic = &clientNic;
+    cfg.target = {serverNic.node(), 7000};
+    cfg.openRate = 20'000.0;
+    cfg.warmup = 1_ms;
+    cfg.duration = 30_ms;
+    cfg.openPorts = 4;
+    cfg.logicalClients = 100'000;
+    workload::LoadGen gen(s, cfg);
+    gen.start();
+    s.runUntil(gen.windowEnd() + 5_ms);
+
+    // 100k logical clients over a 4-port pool: every pool port is a
+    // live flow, and responses still match their requests.
+    EXPECT_EQ(svc.srcPorts.size(), 4u);
+    for (std::uint16_t p = 40000; p < 40004; ++p)
+        EXPECT_TRUE(svc.srcPorts.count(p)) << "port " << p;
+    EXPECT_GT(gen.completed(), 200u);
+    EXPECT_TRUE(gen.conservationHolds());
+    EXPECT_EQ(gen.staleResponses(), 0u);
+}
+
+TEST(PortRangeDeath, ClosedLoopWorkerRangePastUint16FailsFast)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EXPECT_EXIT(
+        {
+            sim::Simulator s;
+            net::Network nw(s);
+            auto &clientNic = nw.addNic("client");
+            workload::LoadGenConfig cfg;
+            cfg.nic = &clientNic;
+            cfg.basePort = 65500;
+            cfg.concurrency = 100; // 65500 + 99 wraps
+            workload::LoadGen gen(s, cfg);
+        },
+        ::testing::ExitedWithCode(1), "wraps past 65535");
+}
+
+TEST(PortRangeDeath, OpenLoopPortPoolPastUint16FailsFast)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EXPECT_EXIT(
+        {
+            sim::Simulator s;
+            net::Network nw(s);
+            auto &clientNic = nw.addNic("client");
+            workload::LoadGenConfig cfg;
+            cfg.nic = &clientNic;
+            cfg.openRate = 1000.0;
+            cfg.basePort = 65000;
+            cfg.openPorts = 1000; // pool end wraps
+            workload::LoadGen gen(s, cfg);
+        },
+        ::testing::ExitedWithCode(1), "wraps past 65535");
+}
