@@ -12,6 +12,7 @@
 #ifndef LYNX_BENCH_COMMON_HH
 #define LYNX_BENCH_COMMON_HH
 
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <initializer_list>
@@ -99,6 +100,32 @@ banner(const char *id, const char *title, const char *paperClaim)
                 "-------------------------\n");
 }
 
+/**
+ * Host wall-clock stopwatch (monotonic). Simulated results are
+ * wall-clock-free by design, but the *cost* of producing them is the
+ * whole point of the sharded-engine work — every bench records how
+ * long the host spent next to what the simulation measured.
+ */
+class WallTimer
+{
+  public:
+    WallTimer() : start_(std::chrono::steady_clock::now()) {}
+
+    void reset() { start_ = std::chrono::steady_clock::now(); }
+
+    /** @return seconds elapsed since construction or reset(). */
+    double
+    seconds() const
+    {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start_)
+            .count();
+    }
+
+  private:
+    std::chrono::steady_clock::time_point start_;
+};
+
 /** One JSON-encodable cell of a BenchJson row. */
 struct JsonValue
 {
@@ -132,8 +159,11 @@ struct JsonValue
 
 /**
  * Machine-readable companion of a bench's printed table: accumulates
- * rows and writes `BENCH_<id>.json` ({"bench": id, "rows": [...]})
- * into the working directory on destruction or write().
+ * rows and writes `BENCH_<id>.json` ({"bench": id, "wall_s": host
+ * seconds since construction, "rows": [...]}) into the working
+ * directory on destruction or write(). The top-level "wall_s" stamps
+ * every bench with the host cost of its whole sweep; rows that time
+ * individual runs add their own per-row fields from a WallTimer.
  */
 class BenchJson
 {
@@ -173,8 +203,8 @@ class BenchJson
             std::fprintf(stderr, "cannot write %s\n", path.c_str());
             return;
         }
-        std::fprintf(f, "{\"bench\":%s,\"rows\":[",
-                     JsonValue::quote(id_).c_str());
+        std::fprintf(f, "{\"bench\":%s,\"wall_s\":%.3f,\"rows\":[",
+                     JsonValue::quote(id_).c_str(), wall_.seconds());
         for (std::size_t i = 0; i < rows_.size(); ++i)
             std::fprintf(f, "%s%s", i ? "," : "", rows_[i].c_str());
         std::fprintf(f, "]}\n");
@@ -186,6 +216,7 @@ class BenchJson
   private:
     std::string id_;
     std::vector<std::string> rows_;
+    WallTimer wall_;
     bool written_ = false;
 };
 

@@ -168,6 +168,10 @@ class Nic
     /** @return link configuration. */
     const NicConfig &config() const { return cfg_; }
 
+    /** @return the simulator this NIC lives on (in sharded mode: its
+     *  home shard's event loop). */
+    sim::Simulator &simulator() { return sim_; }
+
     /**
      * Bind (@p proto, @p port) and return its endpoint.
      * @pre the pair is not yet bound.

@@ -1,0 +1,277 @@
+#include "shard.hh"
+
+#include <algorithm>
+#include <barrier>
+#include <thread>
+#include <tuple>
+
+#include "logging.hh"
+#include "metrics.hh"
+
+namespace lynx::sim {
+
+namespace {
+
+/** The shard entered on this thread via ShardedSim::Scope, else -1. */
+thread_local int tlsShard = -1;
+
+} // namespace
+
+ShardedSim::ShardedSim(unsigned shards, unsigned threads)
+{
+    LYNX_ASSERT(shards >= 1, "need at least one shard");
+    if (threads == 0) {
+        const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+        threads = std::min(shards, hw);
+    }
+    threads_ = std::min(threads, shards);
+    shards_.reserve(shards);
+    for (unsigned s = 0; s < shards; ++s) {
+        shards_.push_back(std::make_unique<ShardState>());
+        shards_.back()->pool.setRemoteAllowed(true);
+    }
+    cWindows_ = &shardStats_.counter("windows");
+    cBarrierStalls_ = &shardStats_.counter("barrier_stalls");
+    cCrossMsgs_ = &shardStats_.counter("cross_msgs");
+    cStagedRecords_ = &shardStats_.counter("staged_records");
+    shards_[0]->sim.metrics().add("sim.shard", shardStats_);
+}
+
+ShardedSim::~ShardedSim()
+{
+    shards_[0]->sim.metrics().remove(shardStats_);
+    // Staged/mailboxed records still hold EventFns (payload pointers,
+    // spilled captures); destroy them while every arena is alive so
+    // owner-routed frees resolve. Simulator teardown (coroutine frame
+    // frees, possibly cross-arena) runs next via shards_'s dtor, and
+    // each Pool absorbs its remote stack last, in its own dtor.
+    for (auto &st : shards_) {
+        st->staged.clear();
+        st->mailbox.clear();
+    }
+}
+
+ShardedSim::Scope::Scope(ShardedSim &ss, unsigned s)
+    : prevShard_(tlsShard), pool_(ss.pool(s))
+{
+    tlsShard = static_cast<int>(s);
+}
+
+ShardedSim::Scope::~Scope()
+{
+    tlsShard = prevShard_;
+}
+
+int
+ShardedSim::currentShard()
+{
+    return tlsShard;
+}
+
+void
+ShardedSim::constrainLookahead(Tick wire)
+{
+    LYNX_ASSERT(!running_, "lookahead is fixed while a run is in flight");
+    LYNX_ASSERT(wire > 0, "zero lookahead would serialize every tick");
+    lookahead_ = std::min(lookahead_, wire);
+}
+
+void
+ShardedSim::post(unsigned dstShard, Tick due, std::uint64_t a,
+                 std::uint64_t b, std::uint64_t c, EventFn fn)
+{
+    Record r{due, a, b, c, std::move(fn)};
+    if (static_cast<int>(dstShard) == tlsShard) {
+        // Same-shard post: stage directly — same bucket, same sorted
+        // drain as a cross-thread arrival, so ordering at the
+        // destination tick is partition-invariant.
+        stage(dstShard, std::move(r));
+        return;
+    }
+    LYNX_DEBUG_ASSERT(tlsShard >= 0,
+                      "post() from outside any shard scope");
+    LYNX_DEBUG_ASSERT(due >=
+                          state(static_cast<unsigned>(tlsShard)).sim.now() +
+                              lookahead_,
+                      "post() inside the lookahead horizon");
+    crossMsgs_.fetch_add(1, std::memory_order_relaxed);
+    ShardState &dst = state(dstShard);
+    std::lock_guard<std::mutex> g(dst.mailboxMu);
+    dst.mailbox.push_back(std::move(r));
+}
+
+void
+ShardedSim::stage(unsigned s, Record r)
+{
+    ShardState &st = state(s);
+    LYNX_DEBUG_ASSERT(r.due > st.sim.now(),
+                      "staged record due at or before the shard clock");
+    auto [it, fresh] = st.staged.try_emplace(r.due);
+    if (fresh) {
+        // First record for this tick: arm the pre-lane drain that
+        // fires before any normal event of the tick.
+        const Tick due = r.due;
+        st.sim.schedulePre(due, [this, s] { drain(s); });
+    }
+    it->second.push_back(std::move(r));
+}
+
+void
+ShardedSim::drain(unsigned s)
+{
+    ShardState &st = state(s);
+    auto it = st.staged.begin();
+    LYNX_ASSERT(it != st.staged.end() && it->first == st.sim.now(),
+                "staging drain fired at the wrong tick");
+    // Detach the bucket before executing: a record's callback may
+    // stage new (strictly later) ticks, which must not invalidate it.
+    std::vector<Record> recs = std::move(it->second);
+    st.staged.erase(it);
+    std::sort(recs.begin(), recs.end(),
+              [](const Record &x, const Record &y) {
+                  return std::tie(x.a, x.b, x.c) < std::tie(y.a, y.b, y.c);
+              });
+#if LYNX_DEBUG_ASSERTS_ENABLED
+    for (std::size_t i = 1; i < recs.size(); ++i)
+        LYNX_ASSERT(std::tie(recs[i - 1].a, recs[i - 1].b, recs[i - 1].c) !=
+                        std::tie(recs[i].a, recs[i].b, recs[i].c),
+                    "duplicate staging key — ordering would depend on "
+                    "arrival order");
+#endif
+    stagedRecords_.fetch_add(recs.size(), std::memory_order_relaxed);
+    for (Record &r : recs)
+        r.fn.invokeAndReset();
+}
+
+void
+ShardedSim::mergeMailbox(unsigned s)
+{
+    ShardState &st = state(s);
+    std::vector<Record> posts;
+    {
+        std::lock_guard<std::mutex> g(st.mailboxMu);
+        posts.swap(st.mailbox);
+    }
+    for (Record &r : posts)
+        stage(s, std::move(r));
+}
+
+Tick
+ShardedSim::windowEndFrom(Tick start) const
+{
+    const Tick end = (lookahead_ >= maxTick - start) ? maxTick
+                                                     : start + lookahead_;
+    return std::min(end, deadline_ + 1);
+}
+
+Tick
+ShardedSim::runUntil(Tick deadline)
+{
+    LYNX_ASSERT(!running_, "runUntil() is not reentrant");
+    LYNX_ASSERT(deadline < maxTick, "deadline must leave headroom");
+    const Tick now0 = shards_[0]->sim.now();
+#if LYNX_DEBUG_ASSERTS_ENABLED
+    for (auto &st : shards_)
+        LYNX_ASSERT(st->sim.now() == now0, "shard clocks diverged");
+#endif
+    LYNX_ASSERT(deadline >= now0, "deadline is in the past");
+    running_ = true;
+    deadline_ = deadline;
+    windowEnd_ = windowEndFrom(now0);
+    done_ = false;
+
+    const unsigned T = threads_;
+    const unsigned K = shards();
+
+    // The completion step runs on exactly one thread while every other
+    // worker is parked in the barrier, and the barrier orders it
+    // against all window work — plain members are safe here.
+    auto onWindow = [this, K]() noexcept {
+        ++windows_;
+        arrived_.store(0, std::memory_order_relaxed);
+        Tick lb = maxTick;
+        for (unsigned s = 0; s < K; ++s) {
+            ShardState &st = *shards_[s];
+            lb = std::min(lb, st.sim.nextPendingLowerBound());
+            std::lock_guard<std::mutex> g(st.mailboxMu);
+            for (const Record &r : st.mailbox)
+                lb = std::min(lb, r.due);
+        }
+        if (lb > deadline_) {
+            // Drained. One final catch-up window advances every clock
+            // to the deadline (runUntil semantics), then we are done.
+            if (windowEnd_ == deadline_ + 1) {
+                done_ = true;
+                return;
+            }
+            windowEnd_ = deadline_ + 1;
+            return;
+        }
+        // Skip idle stretches: the next window starts where work
+        // actually exists, never earlier than the last window's end.
+        windowEnd_ = windowEndFrom(std::max(windowEnd_, lb));
+    };
+    std::barrier bar(static_cast<std::ptrdiff_t>(T), onWindow);
+
+    auto worker = [this, &bar, T, K](unsigned tid) {
+        for (;;) {
+            // windowEnd_ is exclusive: runUntil is inclusive of its
+            // deadline, so each shard executes [.., windowEnd_ - 1].
+            const Tick end = windowEnd_;
+            for (unsigned s = tid; s < K; s += T) {
+                Scope scope(*this, s);
+                ShardState &st = *shards_[s];
+                st.pool.absorbRemote();
+                mergeMailbox(s);
+                st.sim.runUntil(end - 1);
+            }
+            if (arrived_.fetch_add(1, std::memory_order_relaxed) + 1 < T)
+                barrierStalls_.fetch_add(1, std::memory_order_relaxed);
+            bar.arrive_and_wait();
+            if (done_)
+                return;
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(T - 1);
+    for (unsigned t = 1; t < T; ++t)
+        pool.emplace_back(worker, t);
+    worker(0);
+    for (std::thread &t : pool)
+        t.join();
+
+    running_ = false;
+    flushStats();
+    return shards_[0]->sim.now();
+}
+
+void
+ShardedSim::flushStats()
+{
+    cWindows_->add(windows_ - flushedWindows_);
+    flushedWindows_ = windows_;
+    const std::uint64_t stalls =
+        barrierStalls_.load(std::memory_order_relaxed);
+    cBarrierStalls_->add(stalls - flushedStalls_);
+    flushedStalls_ = stalls;
+    const std::uint64_t cross = crossMsgs_.load(std::memory_order_relaxed);
+    cCrossMsgs_->add(cross - flushedCross_);
+    flushedCross_ = cross;
+    const std::uint64_t staged =
+        stagedRecords_.load(std::memory_order_relaxed);
+    cStagedRecords_->add(staged - flushedStaged_);
+    flushedStaged_ = staged;
+}
+
+std::vector<const MetricsRegistry *>
+ShardedSim::registries() const
+{
+    std::vector<const MetricsRegistry *> out;
+    out.reserve(shards_.size());
+    for (const auto &st : shards_)
+        out.push_back(&st->sim.metrics());
+    return out;
+}
+
+} // namespace lynx::sim

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Deterministic parallel sharded simulation (conservative PDES).
+ *
+ * A ShardedSim partitions the world by machine: each shard owns a
+ * full Simulator (timing wheel, ready ring, clock, metrics registry)
+ * plus a private slab Pool, and shards execute on a small worker
+ * thread pool in barrier-synchronized time windows of width
+ *
+ *     lookahead = min cross-shard wire latency
+ *
+ * (reported by the network layer via constrainLookahead()). Within a
+ * window every shard runs its own event loop with zero added
+ * synchronization; interactions between shards travel as *posted
+ * records* — (dueTick, key, callback) tuples — through per-shard
+ * staging queues. A record posted at time t is due no earlier than
+ * t + lookahead, i.e. never inside the window that produced it, so a
+ * single barrier per window suffices.
+ *
+ * Determinism argument (results are bit-identical for any shard or
+ * thread count):
+ *  - every record carries a topology-derived ordering key
+ *    (srcNode, dstNode, per-pair seq) assigned by its producing
+ *    shard's deterministic event loop — never an executor id;
+ *  - all records due at tick T on a shard are collected into one
+ *    staging bucket (whether they arrived through the cross-thread
+ *    mailbox or from a same-shard post) and executed in sorted key
+ *    order by a *pre-lane* drain event (Simulator::schedulePre) that
+ *    fires before every normal event of tick T;
+ *  - same-tick events of different machines inside one shard touch
+ *    disjoint model state (machines only interact through posted
+ *    records), so their interleaving is unobservable.
+ *
+ * The barrier's completion step also computes the next window from
+ * min(nextPendingLowerBound) over all shards, so idle stretches cost
+ * one empty window instead of ceil(idle/lookahead) of them.
+ *
+ * See DESIGN.md §11 for the full protocol and proof sketch.
+ */
+
+#ifndef LYNX_SIM_SHARD_HH
+#define LYNX_SIM_SHARD_HH
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "event.hh"
+#include "pool.hh"
+#include "simulator.hh"
+#include "stats.hh"
+#include "time.hh"
+
+namespace lynx::sim {
+
+class MetricsRegistry;
+
+/** K Simulators + K slab arenas, run in lockstep lookahead windows. */
+class ShardedSim
+{
+  public:
+    /**
+     * @param shards number of shards (>= 1).
+     * @param threads worker threads; 0 = min(shards, hardware
+     *        concurrency). The mapping shard -> thread (s % threads)
+     *        is static, so a shard's events always execute on the
+     *        same thread. Thread count never affects results, only
+     *        wall-clock.
+     */
+    explicit ShardedSim(unsigned shards, unsigned threads = 0);
+    ~ShardedSim();
+
+    ShardedSim(const ShardedSim &) = delete;
+    ShardedSim &operator=(const ShardedSim &) = delete;
+
+    unsigned shards() const { return static_cast<unsigned>(shards_.size()); }
+    unsigned threads() const { return threads_; }
+
+    /** @return shard @p s's simulator (its components' event loop). */
+    Simulator &shard(unsigned s) { return state(s).sim; }
+
+    /** @return shard @p s's slab arena. */
+    Pool &pool(unsigned s) { return state(s).pool; }
+
+    /**
+     * RAII: enter shard @p s on this thread — installs the shard's
+     * pool as thread-current and makes post() treat @p s as the local
+     * shard. Scenario code wraps each shard's component construction
+     * (and start()) in a Scope so coroutine frames and payloads land
+     * in the owning arena; the run loop enters it automatically for
+     * each window.
+     */
+    class Scope
+    {
+      public:
+        Scope(ShardedSim &ss, unsigned s);
+        ~Scope();
+
+        Scope(const Scope &) = delete;
+        Scope &operator=(const Scope &) = delete;
+
+      private:
+        int prevShard_;
+        PoolScope pool_;
+    };
+
+    /** @return the shard entered on this thread, or -1. */
+    static int currentShard();
+
+    /**
+     * Tighten the lookahead: no post() may be due sooner than
+     * @p wire ticks after the simulated time it is made at. Called at
+     * topology construction (e.g. net::Network reports its minimum
+     * cross-machine wire latency, and the CNP control delay when
+     * congestion control is on). @pre not inside runUntil().
+     */
+    void constrainLookahead(Tick wire);
+
+    Tick lookahead() const { return lookahead_; }
+
+    /**
+     * Execute @p fn on shard @p dstShard at exactly tick @p due,
+     * ordered among all records due that tick on that shard by the
+     * key (a, b, c) — which must be derived from topology + the
+     * producer's deterministic state (e.g. srcNode, dstNode, per-pair
+     * sequence number), never from shard/thread ids, and must be
+     * unique per (shard, due). Callable from the posting shard's own
+     * event loop only. @pre due >= now + lookahead().
+     */
+    void post(unsigned dstShard, Tick due, std::uint64_t a,
+              std::uint64_t b, std::uint64_t c, EventFn fn);
+
+    /**
+     * Run every shard to @p deadline inclusive (events at exactly
+     * @p deadline still fire; every clock ends at @p deadline), in
+     * barrier-synchronized lookahead windows on the worker pool.
+     * @return the final simulated time (== @p deadline).
+     */
+    Tick runUntil(Tick deadline);
+
+    /**
+     * Execution telemetry, registered as "sim.shard" on shard 0's
+     * metrics registry: windows, barrier_stalls, cross_msgs,
+     * staged_records. Wall-clock facts, not model state — they vary
+     * with shard/thread count and are excluded from bit-exactness
+     * comparisons.
+     */
+    StatSet &stats() { return shardStats_; }
+
+    /** All shards' metrics registries (merge-on-dump input). */
+    std::vector<const MetricsRegistry *> registries() const;
+
+  private:
+    /** One staged cross-shard (or canonicalized same-shard) action. */
+    struct Record
+    {
+        Tick due;
+        std::uint64_t a, b, c; ///< deterministic ordering key
+        EventFn fn;
+    };
+
+    struct ShardState
+    {
+        Pool pool; ///< declared first: outlives sim + staged records
+        Simulator sim;
+        /** Records awaiting their due tick, drained by pre-lane
+         *  events; a non-empty bucket implies an armed drain. */
+        std::map<Tick, std::vector<Record>> staged;
+        std::mutex mailboxMu;
+        std::vector<Record> mailbox; ///< posts from other threads
+    };
+
+    ShardState &
+    state(unsigned s)
+    {
+        LYNX_ASSERT(s < shards_.size(), "unknown shard ", s);
+        return *shards_[s];
+    }
+
+    void stage(unsigned s, Record r);
+    void drain(unsigned s);
+    void mergeMailbox(unsigned s);
+    Tick windowEndFrom(Tick start) const;
+    void flushStats();
+
+    std::vector<std::unique_ptr<ShardState>> shards_;
+    unsigned threads_ = 1;
+    Tick lookahead_ = maxTick;
+    bool running_ = false;
+
+    /** Window state, written only by the barrier completion step
+     *  (or before threads launch) — the barrier orders every access. */
+    Tick deadline_ = 0;
+    Tick windowEnd_ = 0;
+    bool done_ = false;
+    std::uint64_t windows_ = 0;
+
+    std::atomic<std::uint32_t> arrived_{0};
+    std::atomic<std::uint64_t> barrierStalls_{0};
+    std::atomic<std::uint64_t> crossMsgs_{0};
+    std::atomic<std::uint64_t> stagedRecords_{0};
+
+    StatSet shardStats_;
+    Counter *cWindows_;
+    Counter *cBarrierStalls_;
+    Counter *cCrossMsgs_;
+    Counter *cStagedRecords_;
+    std::uint64_t flushedWindows_ = 0;
+    std::uint64_t flushedStalls_ = 0;
+    std::uint64_t flushedCross_ = 0;
+    std::uint64_t flushedStaged_ = 0;
+};
+
+} // namespace lynx::sim
+
+#endif // LYNX_SIM_SHARD_HH

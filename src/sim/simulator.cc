@@ -90,8 +90,13 @@ Simulator::advance(Tick deadline)
         }
         // Higher levels: cascade the next occupied bucket down. The
         // scan is inclusive of the current index — a bucket at the
-        // current index can only be non-empty right after a parent
-        // cascade, and then holds events >= now().
+        // current index can be non-empty right after a parent cascade,
+        // and then holds events >= now() with now() at the block base.
+        // runUntil()'s park repair (below) keeps that the *only* way:
+        // without it a mid-block park after the express lane would
+        // leave a stale current-index bucket whose raw base is behind
+        // now_ and whose events an occupied lower level could shadow
+        // past a deadline.
         bool cascaded = false;
         for (int level = 1; level < kLevels; ++level) {
             const int shift = kLevelBits * level;
@@ -104,10 +109,13 @@ Simulator::advance(Tick deadline)
                 static_cast<std::size_t>(std::countr_zero(m));
             const Tick blockMask =
                 (Tick(1) << (shift + kLevelBits)) - 1;
-            const Tick base = (now_ & ~blockMask) | (Tick(idx) << shift);
+            const Tick rawBase =
+                (now_ & ~blockMask) | (Tick(idx) << shift);
+            LYNX_DEBUG_ASSERT(rawBase >= now_,
+                              "stale wheel bucket escaped the park repair");
+            const Tick base = std::max(now_, rawBase);
             if (base > deadline)
                 return false;
-            LYNX_DEBUG_ASSERT(base >= now_, "wheel cascade went backwards");
             now_ = base;
             cascade(level, idx);
             cascaded = true;
@@ -175,6 +183,54 @@ Simulator::drainOverflow()
     }
 }
 
+Tick
+Simulator::nextPendingLowerBound() const
+{
+    if (!ready_.empty() || execPos_ < exec_.size())
+        return now_;
+    if (pendingCount_ == 0)
+        return maxTick;
+    Tick best = maxTick;
+    // Level 0 buckets hold exact timestamps within now()'s 64-tick
+    // block; higher levels contribute their bucket's block base (a
+    // valid lower bound for everything filed inside).
+    const std::size_t cur0 = now_ & (kBuckets - 1);
+    if (const std::uint64_t m0 =
+            occupied_[0] & (~std::uint64_t(0) << cur0)) {
+        const std::size_t idx =
+            static_cast<std::size_t>(std::countr_zero(m0));
+        best = (now_ & ~Tick(kBuckets - 1)) | idx;
+    }
+    for (int level = 1; level < kLevels; ++level) {
+        const int shift = kLevelBits * level;
+        const std::size_t cur = (now_ >> shift) & (kBuckets - 1);
+        const std::uint64_t m =
+            occupied_[level] & (~std::uint64_t(0) << cur);
+        if (!m)
+            continue;
+        const std::size_t idx =
+            static_cast<std::size_t>(std::countr_zero(m));
+        const Tick blockMask = (Tick(1) << (shift + kLevelBits)) - 1;
+        const Tick base = (now_ & ~blockMask) | (Tick(idx) << shift);
+        // The block base alone is a valid bound, but a coarse one: a
+        // sharded run skipping idle stretches would crawl across a
+        // high-level block in lookahead-sized windows. The level's
+        // true minimum lives in its first occupied bucket (later
+        // buckets have strictly larger bases than this bucket's last
+        // tick), so scan it — unless the base already can't beat
+        // `best`.
+        if (std::max(base, now_) >= best)
+            continue;
+        Tick levelMin = maxTick;
+        for (const PendingEvent &e : wheel_[level][idx])
+            levelMin = std::min(levelMin, e.when);
+        best = std::min(best, std::max(levelMin, now_));
+    }
+    if (!overflow_.empty())
+        best = std::min(best, overflow_.front().when);
+    return best;
+}
+
 void
 Simulator::runLoop(Tick deadline)
 {
@@ -208,8 +264,25 @@ Tick
 Simulator::runUntil(Tick deadline)
 {
     runLoop(deadline);
-    if (!stopped_ && now_ < deadline)
+    if (!stopped_ && now_ < deadline) {
         now_ = deadline;
+        // The jump can land inside a block whose wheel bucket still
+        // holds events filed relative to the old clock — advance()'s
+        // express lane leaves a lone beyond-deadline event at a high
+        // level, and the park then enters its block. Re-file those
+        // current-index buckets against the new clock: every pending
+        // event is > deadline (advance() just said so), so this only
+        // rearranges the calendar — no event fires or moves in time.
+        // Without the repair, advance()'s level scan could read a
+        // block base behind now_ or shadow the stale bucket's events
+        // behind an occupied lower level until a later deadline.
+        for (int level = kLevels - 1; level >= 1; --level) {
+            const std::size_t cur =
+                (now_ >> (kLevelBits * level)) & (kBuckets - 1);
+            if (occupied_[level] & (std::uint64_t(1) << cur))
+                cascade(level, cur);
+        }
+    }
     return now_;
 }
 

@@ -204,6 +204,53 @@ TEST(TimingWheel, RunUntilBoundaryIsInclusive)
     EXPECT_EQ(hits, 2);
 }
 
+TEST(TimingWheel, ParkInsideStaleHighLevelBucketThenCascade)
+{
+    // A lone far-future event takes advance()'s express lane, which
+    // leaves it filed at a high wheel level when the deadline stops
+    // short of it — and runUntil() then parks the clock *inside* that
+    // bucket's block (event at 5000 lives in level-2 block
+    // [4096, 8191]; the clock parks at 4500). The next advance() must
+    // cascade that stale bucket — whose raw block base (4096) is
+    // behind the clock — without moving time backwards, and both
+    // events must still fire at their exact ticks. The sharded
+    // engine's window loop hits this shape constantly (mid-block
+    // window deadlines); the debug-assert lanes abort here without
+    // the clamp.
+    Simulator s;
+    std::vector<Tick> at;
+    s.schedule(5000, [&] { at.push_back(s.now()); });
+    s.runUntil(4500);
+    EXPECT_TRUE(at.empty());
+    EXPECT_EQ(s.now(), 4500u);
+    // A second event defeats the express lane, forcing the slow path
+    // to walk the level scan over the stale current-index bucket.
+    s.schedule(4800, [&] { at.push_back(s.now()); });
+    s.runUntil(6000);
+    EXPECT_EQ(at, (std::vector<Tick>{4800, 5000}));
+    EXPECT_EQ(s.now(), 6000u);
+}
+
+TEST(TimingWheel, StaleBucketIsNotShadowedByLaterLowLevelEvent)
+{
+    // The nastier variant of the stale-bucket shape: after the
+    // mid-block park, a *later* event files at level 1 (block base
+    // 6976, beyond the next deadline). The level scan checks level 1
+    // before level 2, so without the park repair the stale level-2
+    // bucket's earlier event (5000) was shadowed and silently skipped
+    // past the deadline — then fired late and out of order.
+    Simulator s;
+    std::vector<Tick> at;
+    s.schedule(5000, [&] { at.push_back(s.now()); });
+    s.runUntil(4500);
+    s.schedule(7000, [&] { at.push_back(s.now()); });
+    s.runUntil(6000);
+    EXPECT_EQ(at, (std::vector<Tick>{5000}));
+    EXPECT_EQ(s.now(), 6000u);
+    s.runUntil(8000);
+    EXPECT_EQ(at, (std::vector<Tick>{5000, 7000}));
+}
+
 TEST(TimingWheel, RunUntilThenScheduleNearbyOverflowEvent)
 {
     // Clamping now() into the same top-level block as a parked
